@@ -1,0 +1,32 @@
+"""Figure 13: noise introduced by bfloat16 multiplication for operands in [0, 1].
+
+Contrast with Figure 3: the bfloat16 noise is orders of magnitude smaller,
+mostly negative (truncation shrinks magnitudes) and input-independent -- which
+is why bfloat16 brings no robustness benefit.
+"""
+
+from benchmarks.common import report
+from repro.arith import AxFPM, Bfloat16Multiplier, profile_multiplier
+from repro.core.results import format_table
+
+
+def run_experiment():
+    bf16 = profile_multiplier(Bfloat16Multiplier(), n_samples=200_000, operand_range=(0.0, 1.0))
+    ax = profile_multiplier(AxFPM(), n_samples=200_000, operand_range=(0.0, 1.0))
+    rows = [
+        ("Bfloat16 MRED", bf16.mred),
+        ("Bfloat16 mean error", bf16.mean_error),
+        ("Bfloat16 % positive errors", 100.0 * bf16.fraction_positive_error),
+        ("Bfloat16 max |error|", bf16.max_abs_error),
+        ("Ax-FPM MRED (for contrast)", ax.mred),
+        ("Ax-FPM max |error| (for contrast)", ax.max_abs_error),
+    ]
+    return bf16, ax, format_table(["quantity", "value"], rows)
+
+
+def test_fig13_bfloat16_noise(benchmark):
+    bf16, ax, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report("fig13_bfloat16_noise", table)
+    assert bf16.mred < 0.02
+    assert bf16.fraction_positive_error < 0.1  # mostly negative noise
+    assert ax.max_abs_error > 10 * bf16.max_abs_error  # orders of magnitude apart

@@ -1,0 +1,49 @@
+"""Table 8: multiplier error metrics (MRED / NMED) and LeNet clean accuracy for
+the exact multiplier, HEAP and Ax-FPM.
+
+Paper values: HEAP MRED 0.12 / accuracy 97.86 %, Ax-FPM MRED 0.33 / 97.67 %,
+against an exact baseline of 97.93 % -- i.e. even the aggressive Ax-FPM barely
+dents clean accuracy.
+"""
+
+from benchmarks.common import classifier, digit_setup, report
+from repro.arith import AxFPM, HEAPMultiplier, profile_multiplier
+from repro.core.results import format_table
+from repro.nn import evaluate_accuracy
+from repro.nn.models import convert_to_approximate
+
+
+def run_experiment():
+    exact_model, approx_model, split = digit_setup()
+    x, y = split.test.images[:200], split.test.labels[:200]
+
+    heap_model = convert_to_approximate(exact_model, multiplier=HEAPMultiplier())
+    ax_profile = profile_multiplier(AxFPM(), n_samples=100_000)
+    heap_profile = profile_multiplier(HEAPMultiplier(), n_samples=100_000)
+
+    accuracies = {
+        "Exact multiplier": evaluate_accuracy(exact_model, x, y),
+        "HEAP": evaluate_accuracy(heap_model, x, y),
+        "Ax-FPM": evaluate_accuracy(approx_model, x, y),
+    }
+    rows = [
+        ("Exact multiplier", f"{100 * accuracies['Exact multiplier']:.2f}%", 0.0, 0.0),
+        ("HEAP", f"{100 * accuracies['HEAP']:.2f}%", heap_profile.mred, heap_profile.nmed),
+        ("Ax-FPM", f"{100 * accuracies['Ax-FPM']:.2f}%", ax_profile.mred, ax_profile.nmed),
+    ]
+    table = format_table(["Multiplier", "CNN Accuracy", "MRED", "NMED"], rows)
+    return accuracies, ax_profile, heap_profile, table
+
+
+def test_table08_multiplier_accuracy(benchmark):
+    accuracies, ax_profile, heap_profile, table = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    report("table08_multiplier_accuracy", table)
+    # multiplier-level error ordering
+    assert heap_profile.mred < ax_profile.mred
+    # CNN-level accuracy ordering and tolerance: HEAP stays closest to exact,
+    # Ax-FPM loses at most a modest amount despite its large MRED
+    assert accuracies["Exact multiplier"] > 0.9
+    assert accuracies["HEAP"] >= accuracies["Ax-FPM"] - 0.05
+    assert accuracies["Ax-FPM"] > accuracies["Exact multiplier"] - 0.15

@@ -1,0 +1,27 @@
+"""Table 9: normalised energy and delay of the bare 24x24 mantissa multipliers.
+
+Paper values: HEAP 0.49 energy / 0.46 delay, Ax-FPM 0.395 / 0.235 relative to
+the exact array multiplier.
+"""
+
+from benchmarks.common import report
+from repro.core.results import format_table
+from repro.hw import mantissa_energy_delay_table
+
+
+def run_experiment():
+    rows = mantissa_energy_delay_table()
+    table = format_table(["Multiplier", "Average energy", "Average delay"], rows)
+    return rows, table
+
+
+def test_table09_mantissa_energy_delay(benchmark):
+    rows, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report("table09_mantissa_energy", table)
+    by_name = {name: (energy, delay) for name, energy, delay in rows}
+    ax_energy, ax_delay = by_name["Ax-FPM"]
+    heap_energy, heap_delay = by_name["HEAP"]
+    assert ax_energy < heap_energy < 1.0
+    assert ax_delay < heap_delay <= 1.0
+    assert 0.25 < ax_energy < 0.55  # paper: 0.395
+    assert 0.15 < ax_delay < 0.4  # paper: 0.235

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(useful on offline machines where ``pip install -e .`` cannot fetch build
+dependencies; ``python setup.py develop`` is the offline fallback).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,33 @@
+"""Hardware cost report: energy and delay of the multiplier designs.
+
+Prints the Table 7 / Table 9 style normalised energy and delay numbers from the
+analytical gate-count model, plus the per-design cell census of the mantissa
+array.
+
+Run with:  python examples/energy_report.py
+"""
+
+from repro.arith import AxFPM, HEAPMultiplier
+from repro.arith.array_multiplier import ArrayMultiplier
+from repro.core.results import format_table
+from repro.hw import energy_delay_table, mantissa_energy_delay_table
+
+
+def main() -> None:
+    print("Complete floating point multipliers (normalised to the exact FPM):")
+    print(format_table(["Multiplier", "Energy", "Delay"], energy_delay_table()))
+
+    print("\nBare 24x24 mantissa multipliers (normalised to the exact array):")
+    print(format_table(["Multiplier", "Energy", "Delay"], mantissa_energy_delay_table()))
+
+    print("\nCell census of the full-width (24-bit) mantissa arrays:")
+    rows = []
+    for name, fpm in (("Ax-FPM", AxFPM()), ("HEAP", HEAPMultiplier())):
+        array = ArrayMultiplier(24, fpm.mantissa_multiplier.policy)
+        census = array.cell_census()
+        rows.append((name, ", ".join(f"{cell}: {count}" for cell, count in sorted(census.items()))))
+    print(format_table(["Design", "Adder cells"], rows))
+
+
+if __name__ == "__main__":
+    main()

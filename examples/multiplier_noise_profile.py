@@ -1,0 +1,42 @@
+"""Inspect the noise each hardware multiplier injects (Figures 3, 13 and 15).
+
+Profiles the Ax-FPM, HEAP and Bfloat16 multipliers over random operands in
+[-1, 1] and prints the error statistics the paper's figures visualise:
+magnitude, bias (inflating vs deflating), and data dependence.
+
+Run with:  python examples/multiplier_noise_profile.py
+"""
+
+from repro.arith import AxFPM, Bfloat16Multiplier, HEAPMultiplier, profile_multiplier
+from repro.core.results import format_table
+
+
+def main() -> None:
+    multipliers = [AxFPM(), HEAPMultiplier(), Bfloat16Multiplier()]
+    rows = []
+    for multiplier in multipliers:
+        profile = profile_multiplier(multiplier, n_samples=100_000, operand_range=(-1.0, 1.0))
+        rows.append(
+            (
+                multiplier.name,
+                profile.mred,
+                profile.nmed,
+                f"{100 * profile.fraction_magnitude_inflated:.1f}%",
+                profile.error_magnitude_correlation,
+                profile.max_abs_error,
+            )
+        )
+    print(
+        format_table(
+            ["multiplier", "MRED", "NMED", "% inflated", "corr(|x*y|,|err|)", "max |err|"], rows
+        )
+    )
+    print(
+        "\nReading: the Ax-FPM noise is large, inflating and strongly data dependent\n"
+        "(the Defensive Approximation ingredients); HEAP is milder; bfloat16 noise is\n"
+        "tiny, deflating and carries no robustness benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

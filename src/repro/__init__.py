@@ -1,0 +1,19 @@
+"""Defensive Approximation (DA) -- reproduction of Guesmi et al., ASPLOS 2021.
+
+``repro`` implements, from the gate level up, the full system described in
+"Defensive Approximation: Securing CNNs using Approximate Computing":
+
+* :mod:`repro.arith` -- approximate adder cells, gate-level array multipliers
+  and the Ax-FPM / HEAP / Bfloat16 floating point multipliers;
+* :mod:`repro.nn` -- a pure-numpy CNN substrate (layers, training, model zoo)
+  with approximate and quantised layer variants;
+* :mod:`repro.datasets` -- synthetic MNIST-like and CIFAR-like datasets;
+* :mod:`repro.attacks` -- the eight evasion attacks of the paper's Table 1;
+* :mod:`repro.core` -- the Defensive Approximation defense and the
+  transferability / black-box / white-box evaluation harnesses;
+* :mod:`repro.hw` -- the analytical energy/delay cost model.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Adversarial attack suite.
+
+Implements the eight evasion attacks the paper evaluates (Table 1):
+
+===========  ===============  ======  ==========
+Attack       Category         Norm    Learning
+===========  ===============  ======  ==========
+FGSM         gradient-based   Linf    one-shot
+PGD          gradient-based   Linf    iterative
+JSMA         gradient-based   L0      iterative
+C&W          gradient-based   L2      iterative
+DeepFool     gradient-based   L2      iterative
+LSA          score-based      L2      iterative
+Boundary     decision-based   L2      iterative
+HopSkipJump  decision-based   L2      iterative
+===========  ===============  ======  ==========
+
+Every attack operates on the :class:`~repro.attacks.base.Classifier` facade so
+the same code runs against exact, approximate (DA), quantised and bfloat16
+models.
+"""
+
+from repro.attacks.base import Attack, AttackResult, Classifier
+from repro.attacks.boundary import BoundaryAttack
+from repro.attacks.carlini_wagner import CarliniWagnerL2
+from repro.attacks.deepfool import DeepFool
+from repro.attacks.fgsm import FGSM
+from repro.attacks.hopskipjump import HopSkipJump
+from repro.attacks.jsma import JSMA
+from repro.attacks.lsa import LocalSearchAttack
+from repro.attacks.pgd import PGD
+from repro.attacks.registry import ATTACK_SPECS, AttackSpec, create_attack, list_attacks
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "Classifier",
+    "FGSM",
+    "PGD",
+    "JSMA",
+    "CarliniWagnerL2",
+    "DeepFool",
+    "LocalSearchAttack",
+    "BoundaryAttack",
+    "HopSkipJump",
+    "AttackSpec",
+    "ATTACK_SPECS",
+    "create_attack",
+    "list_attacks",
+]

@@ -1,0 +1,167 @@
+"""Attack infrastructure: the classifier facade and the attack base class.
+
+The :class:`Classifier` facade hides whether the underlying network is exact,
+approximate (Defensive Approximation), quantised or bfloat16: attacks only use
+its prediction and gradient entry points.  For approximate models the gradient
+path is BPDA (backward through the exact layer at the activations cached by the
+approximate forward), which is the strongest practical white-box attacker; see
+:mod:`repro.nn.approx`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.network import Sequential
+
+
+class Classifier:
+    """Attack-facing facade around a :class:`~repro.nn.network.Sequential` model.
+
+    Parameters
+    ----------
+    model:
+        The wrapped network.
+    clip_min, clip_max:
+        Valid input range; adversarial examples are always clipped to it.
+    """
+
+    def __init__(self, model: Sequential, clip_min: float = 0.0, clip_max: float = 1.0):
+        self.model = model
+        self.clip_min = float(clip_min)
+        self.clip_max = float(clip_max)
+        self.query_count = 0
+        self.gradient_count = 0
+
+    # ------------------------------------------------------------ prediction
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Raw class scores; counts as one query per sample."""
+        self.query_count += len(x)
+        return self.model.predict_logits(np.asarray(x, dtype=np.float32))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax probabilities."""
+        return softmax(self.predict_logits(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels."""
+        return self.predict_logits(x).argmax(axis=1)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of output classes (inferred from the final linear layer)."""
+        for layer in reversed(self.model.layers):
+            if hasattr(layer, "out_features"):
+                return int(layer.out_features)
+        raise AttributeError("could not infer the number of classes from the model")
+
+    # ------------------------------------------------------------- gradients
+    def loss_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Gradient of the cross-entropy loss w.r.t. the input."""
+        self.gradient_count += len(x)
+        x = np.asarray(x, dtype=np.float32)
+        was_training = self.model.training
+        self.model.set_training(False)
+        try:
+            self.model.zero_grad()
+            logits = self.model.forward(x)
+            criterion = CrossEntropyLoss()
+            criterion.forward(logits, y)
+            grad_logits = criterion.backward() * len(x)  # undo the batch mean
+            return self.model.backward(grad_logits)
+        finally:
+            self.model.set_training(was_training)
+
+    def logits_gradient(self, x: np.ndarray, grad_logits: np.ndarray) -> np.ndarray:
+        """Input gradient for an arbitrary cotangent on the logits (vector-Jacobian)."""
+        self.gradient_count += len(x)
+        x = np.asarray(x, dtype=np.float32)
+        was_training = self.model.training
+        self.model.set_training(False)
+        try:
+            self.model.zero_grad()
+            self.model.forward(x)
+            return self.model.backward(np.asarray(grad_logits, dtype=np.float32))
+        finally:
+            self.model.set_training(was_training)
+
+    def class_gradient(self, x: np.ndarray, class_index: np.ndarray) -> np.ndarray:
+        """Gradient of the selected class logit w.r.t. the input, per sample."""
+        logits = self.model.predict_logits(x)
+        grad = np.zeros_like(logits)
+        grad[np.arange(len(x)), np.asarray(class_index, dtype=np.int64)] = 1.0
+        return self.logits_gradient(x, grad)
+
+    def jacobian(self, x: np.ndarray) -> np.ndarray:
+        """Full Jacobian of the logits w.r.t. the input: shape ``(N, classes, *input)``.
+
+        Computed with one backward pass per class; intended for small models /
+        small batches (JSMA, DeepFool).
+        """
+        n = len(x)
+        n_classes = self.num_classes
+        jac = np.zeros((n, n_classes) + x.shape[1:], dtype=np.float32)
+        for k in range(n_classes):
+            grad = np.zeros((n, n_classes), dtype=np.float32)
+            grad[:, k] = 1.0
+            jac[:, k] = self.logits_gradient(x, grad)
+        return jac
+
+    # --------------------------------------------------------------- helpers
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Clip to the valid input range."""
+        return np.clip(x, self.clip_min, self.clip_max).astype(np.float32)
+
+    def reset_counters(self) -> None:
+        """Reset query and gradient counters (black-box budget bookkeeping)."""
+        self.query_count = 0
+        self.gradient_count = 0
+
+
+@dataclass
+class AttackResult:
+    """Adversarial examples plus bookkeeping, returned by :meth:`Attack.generate`."""
+
+    adversarial: np.ndarray
+    original: np.ndarray
+    labels: np.ndarray
+    success: np.ndarray  # per-sample: prediction changed away from the true label
+
+    @property
+    def success_rate(self) -> float:
+        return float(np.mean(self.success)) if len(self.success) else 0.0
+
+    def l2_distances(self) -> np.ndarray:
+        """Per-sample L2 distance between original and adversarial images."""
+        diff = (self.adversarial - self.original).reshape(len(self.original), -1)
+        return np.linalg.norm(diff, axis=1)
+
+
+class Attack(ABC):
+    """Base class of all evasion attacks (untargeted)."""
+
+    #: short identifier matching Table 1 of the paper
+    name: str = "attack"
+
+    @abstractmethod
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return adversarial versions of ``x`` (labels ``y`` are the true labels)."""
+
+    def generate(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> AttackResult:
+        """Run the attack and evaluate its success against ``classifier`` itself."""
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        adversarial = classifier.clip(self.perturb(classifier, x, y))
+        predictions = classifier.predict(adversarial)
+        return AttackResult(
+            adversarial=adversarial, original=x, labels=y, success=predictions != y
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"

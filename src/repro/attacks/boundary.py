@@ -1,0 +1,97 @@
+"""Boundary Attack (Brendel et al., 2018).
+
+A decision-based attack: it only observes the predicted label.  Starting from
+an adversarial point (large random perturbation), it performs a random walk
+along the decision boundary that gradually reduces the distance to the clean
+input while remaining adversarial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, Classifier
+
+
+class BoundaryAttack(Attack):
+    """Decision-based random-walk attack.
+
+    Parameters
+    ----------
+    max_iterations:
+        Number of walk steps.
+    orthogonal_step, source_step:
+        Initial relative step sizes; both adapt based on the success rate of
+        recent proposals.
+    init_trials:
+        Number of random images tried when searching for an adversarial
+        starting point.
+    """
+
+    name = "boundary"
+
+    def __init__(
+        self,
+        max_iterations: int = 150,
+        orthogonal_step: float = 0.1,
+        source_step: float = 0.1,
+        init_trials: int = 50,
+        seed: int = 0,
+    ):
+        self.max_iterations = int(max_iterations)
+        self.orthogonal_step = float(orthogonal_step)
+        self.source_step = float(source_step)
+        self.init_trials = int(init_trials)
+        self.rng = np.random.default_rng(seed)
+
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        adversarial = np.empty_like(np.asarray(x, dtype=np.float32))
+        for i in range(len(x)):
+            adversarial[i] = self._attack_single(classifier, x[i], int(y[i]))
+        return adversarial
+
+    # ------------------------------------------------------------ internals
+    def _find_start(self, classifier: Classifier, x: np.ndarray, label: int) -> Optional[np.ndarray]:
+        for _ in range(self.init_trials):
+            candidate = self.rng.uniform(
+                classifier.clip_min, classifier.clip_max, size=x.shape
+            ).astype(np.float32)
+            if classifier.predict(candidate[np.newaxis])[0] != label:
+                return candidate
+        return None
+
+    def _attack_single(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
+        x = x.astype(np.float32)
+        current = self._find_start(classifier, x, label)
+        if current is None:
+            return x.copy()
+
+        ortho_step = self.orthogonal_step
+        source_step = self.source_step
+        for _ in range(self.max_iterations):
+            diff = x - current
+            dist = np.linalg.norm(diff.ravel())
+            if dist < 1e-6:
+                break
+            # orthogonal perturbation on the sphere around the clean image
+            noise = self.rng.normal(size=x.shape).astype(np.float32)
+            noise *= ortho_step * dist / (np.linalg.norm(noise.ravel()) + 1e-12)
+            candidate = current + noise
+            # re-project to the sphere of the current distance
+            cand_diff = x - candidate
+            cand_dist = np.linalg.norm(cand_diff.ravel()) + 1e-12
+            candidate = x - cand_diff * (dist / cand_dist)
+            # step towards the clean image
+            candidate = candidate + source_step * (x - candidate)
+            candidate = classifier.clip(candidate)
+
+            if classifier.predict(candidate[np.newaxis])[0] != label:
+                current = candidate
+                ortho_step = min(ortho_step * 1.05, 0.5)
+                source_step = min(source_step * 1.05, 0.5)
+            else:
+                ortho_step *= 0.9
+                source_step *= 0.9
+        return current

@@ -1,0 +1,22 @@
+"""Fast Gradient Sign Method (Goodfellow et al., 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, Classifier
+
+
+class FGSM(Attack):
+    """One-shot L-infinity attack: ``x* = x + eps * sign(grad_x loss)``."""
+
+    name = "fgsm"
+
+    def __init__(self, epsilon: float = 0.15):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        grad = classifier.loss_gradient(x, y)
+        return classifier.clip(x + self.epsilon * np.sign(grad))

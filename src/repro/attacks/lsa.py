@@ -1,0 +1,79 @@
+"""Local Search Attack (Narodytska & Kasiviswanathan, 2017).
+
+A score-based attack: it never uses gradients, only the predicted class
+probabilities.  At each round a random working set of pixels is probed; the
+pixels whose perturbation most decreases the true-class probability are kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, Classifier
+
+
+class LocalSearchAttack(Attack):
+    """Greedy score-based pixel search.
+
+    Parameters
+    ----------
+    perturbation:
+        Magnitude added/subtracted to probed pixels.
+    candidates_per_round:
+        Number of randomly selected pixels probed each round.
+    pixels_per_round:
+        Number of best candidates committed each round.
+    max_rounds:
+        Round budget.
+    """
+
+    name = "lsa"
+
+    def __init__(
+        self,
+        perturbation: float = 0.5,
+        candidates_per_round: int = 32,
+        pixels_per_round: int = 4,
+        max_rounds: int = 15,
+        seed: int = 0,
+    ):
+        self.perturbation = float(perturbation)
+        self.candidates_per_round = int(candidates_per_round)
+        self.pixels_per_round = int(pixels_per_round)
+        self.max_rounds = int(max_rounds)
+        self.rng = np.random.default_rng(seed)
+
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        adversarial = np.empty_like(np.asarray(x, dtype=np.float32))
+        for i in range(len(x)):
+            adversarial[i] = self._attack_single(classifier, x[i], int(y[i]))
+        return adversarial
+
+    def _attack_single(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
+        x_adv = x.astype(np.float32).copy()
+        n_features = x_adv.size
+        for _ in range(self.max_rounds):
+            if classifier.predict(x_adv[np.newaxis])[0] != label:
+                break
+            candidates = self.rng.choice(
+                n_features, size=min(self.candidates_per_round, n_features), replace=False
+            )
+            # probe each candidate pixel in both directions in one batch
+            probes = np.repeat(x_adv[np.newaxis], 2 * len(candidates), axis=0)
+            flat = probes.reshape(2 * len(candidates), -1)
+            for j, pixel in enumerate(candidates):
+                flat[2 * j, pixel] = np.clip(
+                    flat[2 * j, pixel] + self.perturbation, classifier.clip_min, classifier.clip_max
+                )
+                flat[2 * j + 1, pixel] = np.clip(
+                    flat[2 * j + 1, pixel] - self.perturbation,
+                    classifier.clip_min,
+                    classifier.clip_max,
+                )
+            scores = classifier.predict_proba(probes)[:, label]
+            order = np.argsort(scores)  # lowest true-class probability first
+            flat_adv = x_adv.reshape(-1)
+            for probe_idx in order[: self.pixels_per_round]:
+                pixel = candidates[probe_idx // 2]
+                flat_adv[pixel] = flat[probe_idx, pixel]
+        return x_adv

@@ -1,0 +1,59 @@
+"""Projected Gradient Descent (Madry et al., 2018)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, Classifier
+
+
+class PGD(Attack):
+    """Iterative L-infinity attack with projection onto the epsilon ball.
+
+    Parameters
+    ----------
+    epsilon:
+        Radius of the L-infinity ball around the clean input.
+    step_size:
+        Per-iteration step (defaults to ``2.5 * epsilon / steps``).
+    steps:
+        Number of gradient steps.
+    random_start:
+        Start from a uniformly random point inside the ball.
+    """
+
+    name = "pgd"
+
+    def __init__(
+        self,
+        epsilon: float = 0.15,
+        step_size: Optional[float] = None,
+        steps: int = 20,
+        random_start: bool = True,
+        seed: int = 0,
+    ):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.epsilon = float(epsilon)
+        self.steps = int(steps)
+        self.step_size = float(step_size) if step_size is not None else 2.5 * epsilon / steps
+        self.random_start = random_start
+        self.rng = np.random.default_rng(seed)
+
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if self.random_start:
+            x_adv = x + self.rng.uniform(-self.epsilon, self.epsilon, size=x.shape).astype(np.float32)
+            x_adv = classifier.clip(x_adv)
+        else:
+            x_adv = x.copy()
+        for _ in range(self.steps):
+            grad = classifier.loss_gradient(x_adv, y)
+            x_adv = x_adv + self.step_size * np.sign(grad)
+            x_adv = np.clip(x_adv, x - self.epsilon, x + self.epsilon)
+            x_adv = classifier.clip(x_adv)
+        return x_adv

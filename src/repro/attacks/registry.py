@@ -1,0 +1,67 @@
+"""Attack registry mirroring Table 1 of the paper.
+
+Each entry records the attack's category (gradient / score / decision based),
+the norm it minimises, whether it is one-shot or iterative, and the strength
+rating the paper quotes from Akhtar & Mian (2018).  The registry is what the
+threat-model harnesses in :mod:`repro.core.evaluation` iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Type
+
+from repro.attacks.base import Attack
+from repro.attacks.boundary import BoundaryAttack
+from repro.attacks.carlini_wagner import CarliniWagnerL2
+from repro.attacks.deepfool import DeepFool
+from repro.attacks.fgsm import FGSM
+from repro.attacks.hopskipjump import HopSkipJump
+from repro.attacks.jsma import JSMA
+from repro.attacks.lsa import LocalSearchAttack
+from repro.attacks.pgd import PGD
+
+
+@dataclass
+class AttackSpec:
+    """Metadata and default construction parameters for one attack method."""
+
+    name: str
+    attack_class: Type[Attack]
+    category: str
+    norm: str
+    learning: str
+    strength: int
+    default_params: dict = field(default_factory=dict)
+
+    def create(self, **overrides) -> Attack:
+        """Instantiate the attack with default parameters plus ``overrides``."""
+        params = dict(self.default_params)
+        params.update(overrides)
+        return self.attack_class(**params)
+
+
+ATTACK_SPECS: Dict[str, AttackSpec] = {
+    "fgsm": AttackSpec("fgsm", FGSM, "gradient-based", "Linf", "one-shot", 3),
+    "pgd": AttackSpec("pgd", PGD, "gradient-based", "Linf", "iterative", 4),
+    "jsma": AttackSpec("jsma", JSMA, "gradient-based", "L0", "iterative", 3),
+    "cw": AttackSpec("cw", CarliniWagnerL2, "gradient-based", "L2", "iterative", 5),
+    "deepfool": AttackSpec("deepfool", DeepFool, "gradient-based", "L2", "iterative", 4),
+    "lsa": AttackSpec("lsa", LocalSearchAttack, "score-based", "L2", "iterative", 3),
+    "boundary": AttackSpec("boundary", BoundaryAttack, "decision-based", "L2", "iterative", 3),
+    "hsj": AttackSpec("hsj", HopSkipJump, "decision-based", "L2", "iterative", 5),
+}
+
+
+def list_attacks() -> List[str]:
+    """Names of all registered attacks, in the paper's Table 1 order."""
+    return list(ATTACK_SPECS)
+
+
+def create_attack(name: str, **overrides) -> Attack:
+    """Instantiate an attack by name with optional parameter overrides."""
+    try:
+        spec = ATTACK_SPECS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown attack {name!r}; available: {list_attacks()}") from exc
+    return spec.create(**overrides)

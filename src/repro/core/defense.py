@@ -1,0 +1,100 @@
+"""Defensive Approximation: the drop-in hardware defense.
+
+:class:`DefensiveApproximation` wraps a *trained* exact model and produces its
+approximate counterpart by swapping the convolution hardware for an
+approximate multiplier (Ax-FPM by default).  Nothing else changes: same
+architecture, same parameters, no retraining or fine-tuning -- exactly the
+deployment model of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arith.fpm import AxFPM, Multiplier
+from repro.attacks.base import Classifier
+from repro.nn.models import convert_to_approximate
+from repro.nn.network import Sequential
+from repro.nn.training import evaluate_accuracy
+
+
+@dataclass
+class AccuracyReport:
+    """Clean accuracy of the exact model and of its DA counterpart."""
+
+    exact_accuracy: float
+    approximate_accuracy: float
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.exact_accuracy - self.approximate_accuracy
+
+
+class DefensiveApproximation:
+    """Builds and manages the approximate (defended) version of a trained model.
+
+    Parameters
+    ----------
+    exact_model:
+        Trained exact classifier (its parameters are shared, not copied).
+    multiplier:
+        Hardware multiplier model used for the convolution layers; defaults to
+        the paper's Ax-FPM.
+    convert_linear:
+        Also approximate dense layers (off by default, as in the paper).
+    batch_chunk:
+        Emulation memory/throughput knob forwarded to the approximate layers.
+    """
+
+    def __init__(
+        self,
+        exact_model: Sequential,
+        multiplier: Optional[Multiplier] = None,
+        convert_linear: bool = False,
+        batch_chunk: int = 32,
+    ):
+        self.exact_model = exact_model
+        self.multiplier = multiplier if multiplier is not None else AxFPM()
+        self.approximate_model = convert_to_approximate(
+            exact_model,
+            multiplier=self.multiplier,
+            convert_linear=convert_linear,
+            batch_chunk=batch_chunk,
+        )
+
+    # ------------------------------------------------------------------ API
+    def exact_classifier(self, clip_min: float = 0.0, clip_max: float = 1.0) -> Classifier:
+        """Attack-facing facade of the undefended exact model."""
+        return Classifier(self.exact_model, clip_min, clip_max)
+
+    def defended_classifier(self, clip_min: float = 0.0, clip_max: float = 1.0) -> Classifier:
+        """Attack-facing facade of the DA-protected model."""
+        return Classifier(self.approximate_model, clip_min, clip_max)
+
+    def accuracy_report(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 128
+    ) -> AccuracyReport:
+        """Clean-accuracy comparison between the exact and the defended model.
+
+        This is the paper's Section 8.1 check: the defense must not degrade
+        accuracy on non-adversarial inputs.
+        """
+        return AccuracyReport(
+            exact_accuracy=evaluate_accuracy(self.exact_model, images, labels, batch_size),
+            approximate_accuracy=evaluate_accuracy(
+                self.approximate_model, images, labels, batch_size
+            ),
+        )
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predictions of the defended model."""
+        return self.approximate_model.predict(images)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DefensiveApproximation(model={self.exact_model.name!r}, "
+            f"multiplier={self.multiplier.name})"
+        )

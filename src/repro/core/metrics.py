@@ -1,0 +1,55 @@
+"""Image distance and quality metrics used throughout the evaluation.
+
+The paper quantifies adversarial perturbations with the L0 / L2 / L-infinity
+norms (Section 2.1) and reports the image-quality impact of white-box attacks
+with MSE and PSNR (Figures 10 and 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _flatten_pairs(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim == 3:  # single image
+        a = a[np.newaxis]
+        b = b[np.newaxis]
+    return a.reshape(len(a), -1), b.reshape(len(b), -1)
+
+
+def l0_distance(a: np.ndarray, b: np.ndarray, tolerance: float = 1e-6) -> np.ndarray:
+    """Number of features that differ by more than ``tolerance`` (per sample)."""
+    fa, fb = _flatten_pairs(a, b)
+    return (np.abs(fa - fb) > tolerance).sum(axis=1)
+
+
+def l2_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance between images (per sample)."""
+    fa, fb = _flatten_pairs(a, b)
+    return np.linalg.norm(fa - fb, axis=1)
+
+
+def linf_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Maximum absolute per-feature difference (per sample)."""
+    fa, fb = _flatten_pairs(a, b)
+    return np.abs(fa - fb).max(axis=1)
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Mean squared error between images (per sample)."""
+    fa, fb = _flatten_pairs(a, b)
+    return np.mean((fa - fb) ** 2, axis=1)
+
+
+def psnr(a: np.ndarray, b: np.ndarray, max_value: float = 1.0) -> np.ndarray:
+    """Peak signal-to-noise ratio in dB (per sample).
+
+    ``PSNR = 20 * log10(MAX / sqrt(MSE))``; identical images yield ``inf``.
+    """
+    errors = mse(a, b)
+    with np.errstate(divide="ignore"):
+        return 20.0 * np.log10(max_value / np.sqrt(errors))

@@ -1,0 +1,78 @@
+"""Black-box substitute (proxy) model training.
+
+In the paper's black-box threat model the attacker can only query the victim
+classifier for labels.  They train a *substitute* CNN on inputs labelled by the
+victim (Papernot-style model extraction) and craft adversarial examples on the
+substitute, hoping they transfer to the victim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.models import build_lenet5
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.nn.training import train_classifier
+
+
+def train_substitute(
+    victim_predict: Callable[[np.ndarray], np.ndarray],
+    query_images: np.ndarray,
+    build_model: Optional[Callable[[], Sequential]] = None,
+    epochs: int = 15,
+    batch_size: int = 64,
+    learning_rate: float = 0.002,
+    augmentation_rounds: int = 1,
+    augmentation_noise: float = 0.05,
+    seed: int = 0,
+) -> Sequential:
+    """Train a substitute model from victim queries.
+
+    Parameters
+    ----------
+    victim_predict:
+        Callable returning the victim's predicted labels for a batch of images
+        (this is the only access the black-box attacker has).
+    query_images:
+        The attacker's unlabeled query set.
+    build_model:
+        Factory for the substitute architecture.  Defaults to a LeNet-5 sized
+        for the query images.
+    augmentation_rounds:
+        Jacobian-free data augmentation: each round adds noisy copies of the
+        query set, labelled by the victim, which grows the substitute's
+        training set the way Papernot et al.'s augmentation does.
+    """
+    rng = np.random.default_rng(seed)
+    query_images = np.asarray(query_images, dtype=np.float32)
+
+    if build_model is None:
+        input_shape = query_images.shape[1:]
+
+        def build_model() -> Sequential:  # type: ignore[misc]
+            return build_lenet5(input_shape, num_classes=10, seed=seed + 1)
+
+    images = query_images
+    labels = np.asarray(victim_predict(query_images), dtype=np.int64)
+    for _ in range(max(0, augmentation_rounds)):
+        noisy = np.clip(
+            query_images + rng.normal(0.0, augmentation_noise, size=query_images.shape), 0.0, 1.0
+        ).astype(np.float32)
+        images = np.concatenate([images, noisy])
+        labels = np.concatenate([labels, np.asarray(victim_predict(noisy), dtype=np.int64)])
+
+    substitute = build_model()
+    optimizer = Adam(substitute.parameters(), lr=learning_rate)
+    train_classifier(
+        substitute,
+        optimizer,
+        images,
+        labels,
+        epochs=epochs,
+        batch_size=batch_size,
+        rng=rng,
+    )
+    return substitute

@@ -1,0 +1,31 @@
+"""Synthetic image classification datasets.
+
+The paper evaluates on MNIST (LeNet-5) and CIFAR-10 (AlexNet).  Neither corpus
+is available in this offline environment, so this package procedurally
+generates two datasets with the same structure -- 10-class image
+classification, pixel intensities normalised to ``[0, 1]``:
+
+* :mod:`repro.datasets.digits` -- grayscale digit glyphs with random geometric
+  jitter, stroke-thickness variation, blur and noise (the MNIST substitute).
+* :mod:`repro.datasets.objects` -- 3-channel procedural shape/texture images
+  (the CIFAR-10 substitute).
+
+The defense under study depends only on convolution/filter correlation
+statistics, not on the particular natural-image corpus, so these substitutes
+exercise the same code paths end to end (see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.digits import generate_digits, render_digit
+from repro.datasets.loader import Dataset, DataSplit, train_test_split
+from repro.datasets.objects import OBJECT_CLASS_NAMES, generate_objects, render_object
+
+__all__ = [
+    "Dataset",
+    "DataSplit",
+    "train_test_split",
+    "generate_digits",
+    "render_digit",
+    "generate_objects",
+    "render_object",
+    "OBJECT_CLASS_NAMES",
+]

@@ -1,0 +1,26 @@
+"""Experiment infrastructure shared by the benchmarks and the examples.
+
+:mod:`repro.experiments.zoo` trains (and disk-caches) the paper's benchmark
+models on the synthetic datasets: the exact LeNet-5 digit classifier, the
+exact AlexNet object classifier, and the Defensive Quantization variants.
+Every benchmark and example pulls its models from here so the expensive
+training happens at most once per machine.
+"""
+
+from repro.experiments.zoo import (
+    CACHE_DIR,
+    alexnet_objects,
+    dq_models_objects,
+    lenet_digits,
+    load_digits_split,
+    load_objects_split,
+)
+
+__all__ = [
+    "CACHE_DIR",
+    "load_digits_split",
+    "load_objects_split",
+    "lenet_digits",
+    "alexnet_objects",
+    "dq_models_objects",
+]

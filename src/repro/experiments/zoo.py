@@ -1,0 +1,127 @@
+"""Trained-model zoo with on-disk caching.
+
+The paper's experiments start from pre-trained exact classifiers (LeNet-5 on
+MNIST, AlexNet on CIFAR-10).  This module plays that role for the synthetic
+datasets: models are trained once, their parameters are cached under
+``~/.cache/repro-da`` (override with the ``REPRO_DA_CACHE`` environment
+variable), and every benchmark / example reuses them.
+
+The configurations here are the calibrated "paper models" of this
+reproduction: they reach high clean accuracy and, once converted to DA, lose
+only a small amount of it (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.datasets import DataSplit, generate_digits, generate_objects, train_test_split
+from repro.nn import SGD, Adam, build_alexnet, build_dq_cnn, build_lenet5, train_classifier
+from repro.nn.network import Sequential
+
+#: default location of the trained-parameter cache
+CACHE_DIR = Path(os.environ.get("REPRO_DA_CACHE", Path.home() / ".cache" / "repro-da"))
+
+#: digit dataset configuration (MNIST substitute)
+DIGITS_CONFIG = {"n_samples": 6000, "size": 16, "seed": 1}
+#: object dataset configuration (CIFAR-10 substitute)
+OBJECTS_CONFIG = {"n_samples": 3000, "size": 32, "seed": 2}
+
+
+def load_digits_split(test_fraction: float = 0.15) -> DataSplit:
+    """The digit dataset split used by all digit experiments."""
+    return train_test_split(generate_digits(**DIGITS_CONFIG), test_fraction)
+
+
+def load_objects_split(test_fraction: float = 0.2) -> DataSplit:
+    """The object dataset split used by all object experiments."""
+    return train_test_split(generate_objects(**OBJECTS_CONFIG), test_fraction)
+
+
+def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -> Sequential:
+    """Build a model and load cached parameters, or train and cache them."""
+    model = builder()
+    cache_path = CACHE_DIR / f"{cache_name}.npz"
+    if cache_path.exists():
+        try:
+            model.load(str(cache_path))
+            return model
+        except (KeyError, ValueError):
+            # architecture changed since the cache was written; retrain
+            cache_path.unlink()
+    trainer(model)
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    model.save(str(cache_path))
+    return model
+
+
+def lenet_digits() -> Tuple[Sequential, DataSplit]:
+    """Exact LeNet-5 trained on the synthetic digits (the paper's MNIST model)."""
+    split = load_digits_split()
+
+    def build() -> Sequential:
+        return build_lenet5(
+            split.train.input_shape,
+            conv_channels=(12, 24),
+            fc_sizes=(96, 64),
+            dropout=0.25,
+            seed=0,
+        )
+
+    def train(model: Sequential) -> None:
+        optimizer = Adam(model.parameters(), lr=0.002)
+        train_classifier(
+            model, optimizer, split.train.images, split.train.labels, epochs=25, batch_size=64
+        )
+        optimizer.lr = 0.0005
+        train_classifier(
+            model, optimizer, split.train.images, split.train.labels, epochs=10, batch_size=64
+        )
+
+    return _cached_model("lenet_digits", build, train), split
+
+
+def alexnet_objects() -> Tuple[Sequential, DataSplit]:
+    """Exact AlexNet trained on the synthetic objects (the paper's CIFAR-10 model)."""
+    split = load_objects_split()
+
+    def build() -> Sequential:
+        return build_alexnet(split.train.input_shape, dropout=0.25, seed=0)
+
+    def train(model: Sequential) -> None:
+        optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9, weight_decay=1e-4)
+        train_classifier(
+            model, optimizer, split.train.images, split.train.labels, epochs=20, batch_size=64
+        )
+        optimizer.lr = 0.005
+        train_classifier(
+            model, optimizer, split.train.images, split.train.labels, epochs=8, batch_size=64
+        )
+
+    return _cached_model("alexnet_objects", build, train), split
+
+
+def dq_models_objects(bits: int = 4) -> Tuple[Dict[str, Sequential], DataSplit]:
+    """Defensive Quantization models (full and weight-only) trained on the objects.
+
+    Returns a dict with keys ``"full"`` and ``"weight"``.
+    """
+    split = load_objects_split()
+    models: Dict[str, Sequential] = {}
+    for mode in ("full", "weight"):
+
+        def build(mode=mode) -> Sequential:
+            return build_dq_cnn(split.train.input_shape, bits=bits, mode=mode, seed=3)
+
+        def train(model: Sequential) -> None:
+            optimizer = Adam(model.parameters(), lr=0.002)
+            train_classifier(
+                model, optimizer, split.train.images, split.train.labels, epochs=18, batch_size=64
+            )
+
+        models[mode] = _cached_model(f"dq_{mode}_objects_{bits}b", build, train)
+    return models, split

@@ -1,0 +1,124 @@
+"""Analytical gate-count energy and delay model for the multipliers.
+
+Model assumptions (documented substitutions for the paper's 45 nm PTM / ADS
+circuit simulations):
+
+* every adder cell consumes switching energy proportional to its transistor
+  count (exact mirror adder: 24 transistors, AMA5: 8, see
+  :mod:`repro.arith.adders`);
+* every partial-product AND gate costs a fixed 6 transistors;
+* the array multiplier's critical path traverses one full row and one full
+  column of cells (the classic ``2n - 2`` cell-delays path); each cell
+  contributes its relative sum-path delay;
+* a complete floating point multiplier spends :data:`MANTISSA_POWER_FRACTION`
+  of its energy in the mantissa multiplier (the paper cites 81 %), with the
+  remaining energy (exponent adder, normalisation, rounding) unaffected by the
+  approximation;
+* the mantissa multiplier similarly dominates the delay with the same fraction.
+
+Only *normalised* ratios are meaningful, which is also all the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.array_multiplier import ArrayMultiplier
+from repro.arith.fpm import ApproxFPM, Bfloat16Multiplier, ExactMultiplier, Multiplier
+
+#: transistor cost of one partial-product AND gate
+AND_GATE_TRANSISTORS = 6
+#: fraction of a floating point multiplier's energy spent in the mantissa
+#: multiplier (Tong et al., 2000, cited by the paper)
+MANTISSA_POWER_FRACTION = 0.81
+#: fraction of the FPM critical path spent in the mantissa multiplier (the
+#: exponent adder works in parallel, so only normalisation/rounding adds delay)
+MANTISSA_DELAY_FRACTION = 0.95
+#: mantissa width (including the implicit bit) of a full IEEE-754 single FPM
+FULL_MANTISSA_BITS = 24
+#: mantissa width (including the implicit bit) of a bfloat16 multiplier
+BFLOAT16_MANTISSA_BITS = 8
+
+
+@dataclass
+class CellCost:
+    """Energy and delay contribution of one adder cell."""
+
+    name: str
+    energy: float
+    delay: float
+
+
+@dataclass
+class MultiplierCost:
+    """Absolute (model-unit) energy and delay of a multiplier datapath."""
+
+    name: str
+    energy: float
+    delay: float
+
+    def normalised_to(self, reference: "MultiplierCost") -> "MultiplierCost":
+        """Express this cost relative to a reference design."""
+        return MultiplierCost(
+            name=self.name,
+            energy=self.energy / reference.energy,
+            delay=self.delay / reference.delay,
+        )
+
+
+def estimate_array_multiplier_cost(array: ArrayMultiplier, name: str = "") -> MultiplierCost:
+    """Energy/delay of a (possibly heterogeneous, approximate) mantissa array."""
+    n = array.n_bits
+    energy = float(n * n * AND_GATE_TRANSISTORS)  # partial product generation
+    for row in range(1, n):
+        for col in range(n):
+            energy += array.policy.cell_at(row, col, n).transistor_count
+
+    # critical path: down the last column, then across the last row
+    delay = 0.0
+    for row in range(1, n):
+        delay += array.policy.cell_at(row, n - 1, n).relative_delay
+    last_row = n - 1
+    if last_row >= 1:
+        for col in range(n - 1):
+            delay += array.policy.cell_at(last_row, col, n).relative_delay
+    delay = max(delay, 1e-9)
+    return MultiplierCost(name=name or repr(array), energy=energy, delay=delay)
+
+
+def _exact_array(n_bits: int) -> ArrayMultiplier:
+    return ArrayMultiplier(n_bits, "exact")
+
+
+def estimate_fpm_cost(multiplier: Multiplier, name: str = "") -> MultiplierCost:
+    """Energy/delay of a complete floating point multiplier datapath.
+
+    The mantissa multiplier is costed with :func:`estimate_array_multiplier_cost`;
+    the remaining FPM logic (exponent adder, normalisation, rounding) is charged
+    as the fixed non-mantissa fraction of an exact single-precision FPM.
+    """
+    exact_mantissa = estimate_array_multiplier_cost(_exact_array(FULL_MANTISSA_BITS))
+    overhead_energy = exact_mantissa.energy * (1.0 - MANTISSA_POWER_FRACTION) / MANTISSA_POWER_FRACTION
+    overhead_delay = exact_mantissa.delay * (1.0 - MANTISSA_DELAY_FRACTION) / MANTISSA_DELAY_FRACTION
+
+    if isinstance(multiplier, ApproxFPM):
+        # cost the approximate array at full mantissa width so designs of
+        # different emulation widths are compared on equal footing
+        scaled = ArrayMultiplier(
+            FULL_MANTISSA_BITS,
+            multiplier.mantissa_multiplier.policy,
+            port_a=multiplier.mantissa_multiplier.port_a,
+        )
+        mantissa = estimate_array_multiplier_cost(scaled)
+    elif isinstance(multiplier, Bfloat16Multiplier):
+        mantissa = estimate_array_multiplier_cost(_exact_array(BFLOAT16_MANTISSA_BITS))
+    elif isinstance(multiplier, ExactMultiplier):
+        mantissa = exact_mantissa
+    else:
+        raise TypeError(f"no hardware cost model for multiplier type {type(multiplier).__name__}")
+
+    return MultiplierCost(
+        name=name or multiplier.name,
+        energy=mantissa.energy + overhead_energy,
+        delay=mantissa.delay + overhead_delay,
+    )

@@ -1,0 +1,64 @@
+"""Energy/delay report builders for Tables 7 and 9."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arith.array_multiplier import ArrayMultiplier
+from repro.arith.fpm import AxFPM, Bfloat16Multiplier, ExactMultiplier, HEAPMultiplier
+from repro.hw.energy_model import (
+    FULL_MANTISSA_BITS,
+    MultiplierCost,
+    estimate_array_multiplier_cost,
+    estimate_fpm_cost,
+)
+
+
+def energy_delay_table() -> List[Tuple[str, float, float]]:
+    """Table 7: normalised energy and delay of complete floating point multipliers.
+
+    Rows: exact multiplier, Ax-FPM, Bfloat16, each normalised to the exact
+    design.
+    """
+    exact = estimate_fpm_cost(ExactMultiplier(), name="Exact multiplier")
+    designs = [
+        exact,
+        estimate_fpm_cost(AxFPM(), name="Ax-FPM"),
+        estimate_fpm_cost(Bfloat16Multiplier(), name="Bfloat16"),
+    ]
+    return [
+        (cost.name, cost.normalised_to(exact).energy, cost.normalised_to(exact).delay)
+        for cost in designs
+    ]
+
+
+def mantissa_energy_delay_table() -> List[Tuple[str, float, float]]:
+    """Table 9: normalised energy and delay of the bare 24x24 mantissa multipliers.
+
+    Rows: exact array, HEAP array, Ax-FPM (AMA5) array.
+    """
+    exact_cost = estimate_array_multiplier_cost(
+        ArrayMultiplier(FULL_MANTISSA_BITS, "exact"), name="Exact multiplier"
+    )
+    heap = HEAPMultiplier()
+    heap_cost = estimate_array_multiplier_cost(
+        ArrayMultiplier(FULL_MANTISSA_BITS, heap.mantissa_multiplier.policy), name="HEAP"
+    )
+    ax = AxFPM()
+    ax_cost = estimate_array_multiplier_cost(
+        ArrayMultiplier(FULL_MANTISSA_BITS, ax.mantissa_multiplier.policy), name="Ax-FPM"
+    )
+    return [
+        (cost.name, cost.normalised_to(exact_cost).energy, cost.normalised_to(exact_cost).delay)
+        for cost in (exact_cost, heap_cost, ax_cost)
+    ]
+
+
+def cost_summary() -> Dict[str, MultiplierCost]:
+    """Absolute model-unit costs of all designs (useful for ablations)."""
+    return {
+        "exact": estimate_fpm_cost(ExactMultiplier()),
+        "axfpm": estimate_fpm_cost(AxFPM()),
+        "heap": estimate_fpm_cost(HEAPMultiplier()),
+        "bfloat16": estimate_fpm_cost(Bfloat16Multiplier()),
+    }

@@ -1,0 +1,177 @@
+"""Approximate layers: convolution and dense layers whose multiplications run
+through a hardware multiplier model.
+
+This is the emulation path of Defensive Approximation: the layer keeps the
+exact pre-trained weights but every elementwise product of the forward pass is
+computed by a :class:`repro.arith.fpm.Multiplier` (Ax-FPM by default).
+Additions stay exact, as in the paper (only the multiplier is approximated).
+
+Gradients
+---------
+The approximate datapath is a non-differentiable gate-level circuit.  For
+white-box attacks the backward pass uses the exact analytic gradients of the
+corresponding exact layer evaluated at the same cached activations
+(Backward-Pass Differentiable Approximation, BPDA) -- this is the strongest
+practical attacker model and mirrors how the paper's adaptive white-box
+attacker differentiates the emulated circuit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arith.fpm import AxFPM, Multiplier
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear, Module, Parameter
+
+
+class ApproxConv2d(Conv2d):
+    """Convolution layer whose multiply-accumulate uses an approximate multiplier.
+
+    Parameters
+    ----------
+    multiplier:
+        Hardware multiplier model.  Defaults to a fresh :class:`AxFPM`.
+    batch_chunk:
+        Maximum number of images processed per chunk; bounds the memory of the
+        intermediate ``(chunk, F, K, L)`` product tensor.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        multiplier: Optional[Multiplier] = None,
+        batch_chunk: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "approx_conv",
+    ):
+        super().__init__(
+            in_channels, out_channels, kernel_size, stride, padding, rng=rng, name=name
+        )
+        self.multiplier = multiplier if multiplier is not None else AxFPM()
+        self.batch_chunk = int(batch_chunk)
+
+    @classmethod
+    def from_exact(
+        cls, layer: Conv2d, multiplier: Optional[Multiplier] = None, batch_chunk: int = 32
+    ) -> "ApproxConv2d":
+        """Build an approximate layer sharing the exact layer's trained parameters.
+
+        This is the "drop-in hardware replacement" of the paper: no retraining,
+        no fine-tuning, the very same weights.
+        """
+        approx = cls(
+            layer.in_channels,
+            layer.out_channels,
+            layer.kernel_size,
+            layer.stride,
+            layer.padding,
+            multiplier=multiplier,
+            batch_chunk=batch_chunk,
+            name=getattr(layer, "name", "approx_conv"),
+        )
+        approx.weight = layer.weight
+        approx.bias = layer.bias
+        return approx
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, _, h, w = x.shape
+        f = self.out_channels
+        k = self.kernel_size
+        cols = F.im2col(x, (k, k), self.stride, self.padding)  # (N, K, L)
+        self._cache = (cols, x.shape)
+        w_mat = self.weight.value.reshape(f, -1)  # (F, K)
+
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        l = out_h * out_w
+        out = np.empty((n, f, l), dtype=np.float32)
+        chunk = max(1, self.batch_chunk)
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            # (chunk, F, K, L) elementwise products through the hardware model.
+            # The activation patch drives the multiplicand port and the weight
+            # drives the multiplier port of the array multiplier; with the
+            # AMA5 array this is the operand assignment that keeps the clean
+            # accuracy of the approximate classifier closest to the exact one
+            # (see DESIGN.md, "Key design decisions").
+            products = self.multiplier.multiply(
+                cols[start:stop, np.newaxis, :, :], w_mat[np.newaxis, :, :, np.newaxis]
+            )
+            out[start:stop] = products.sum(axis=2, dtype=np.float32)
+        out += self.bias.value.reshape(1, f, 1)
+        return out.reshape(n, f, out_h, out_w).astype(np.float32)
+
+    # backward() is inherited from Conv2d: BPDA through the exact convolution.
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ApproxConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, multiplier={self.multiplier.name})"
+        )
+
+
+class ApproxLinear(Linear):
+    """Dense layer whose products run through an approximate multiplier.
+
+    The paper confines the approximation to convolution layers; this layer is
+    provided for completeness and for the design-space exploration ablations.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        multiplier: Optional[Multiplier] = None,
+        batch_chunk: int = 128,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "approx_fc",
+    ):
+        super().__init__(in_features, out_features, rng=rng, name=name)
+        self.multiplier = multiplier if multiplier is not None else AxFPM()
+        self.batch_chunk = int(batch_chunk)
+
+    @classmethod
+    def from_exact(
+        cls, layer: Linear, multiplier: Optional[Multiplier] = None, batch_chunk: int = 128
+    ) -> "ApproxLinear":
+        """Build an approximate dense layer sharing the exact layer's parameters."""
+        approx = cls(
+            layer.in_features,
+            layer.out_features,
+            multiplier=multiplier,
+            batch_chunk=batch_chunk,
+            name=getattr(layer, "name", "approx_fc"),
+        )
+        approx.weight = layer.weight
+        approx.bias = layer.bias
+        return approx
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        n = x.shape[0]
+        out = np.empty((n, self.out_features), dtype=np.float32)
+        chunk = max(1, self.batch_chunk)
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            # activations drive the multiplicand port, weights the multiplier
+            # port (same assignment as ApproxConv2d).
+            products = self.multiplier.multiply(
+                x[start:stop, np.newaxis, :], self.weight.value[np.newaxis, :, :]
+            )
+            out[start:stop] = products.sum(axis=2, dtype=np.float32)
+        return (out + self.bias.value).astype(np.float32)
+
+    # backward() inherited from Linear (BPDA).
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ApproxLinear({self.in_features}, {self.out_features}, "
+            f"multiplier={self.multiplier.name})"
+        )

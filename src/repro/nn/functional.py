@@ -1,0 +1,185 @@
+"""Functional primitives: im2col convolution, pooling, activations, softmax.
+
+All functions operate on ``float32`` arrays in ``(N, C, H, W)`` layout and come
+with analytic backward companions, which is what the gradient-based adversarial
+attacks (FGSM, PGD, JSMA, C&W, DeepFool) need.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+# --------------------------------------------------------------------- im2col
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution / pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kh, kw)`` window size.
+
+    Returns
+    -------
+    Array of shape ``(N, C * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: input {h}x{w}, kernel {kh}x{kw}, "
+            f"stride {stride}, padding {padding}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` (accumulating overlapping patches)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------- convolution
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact convolution forward pass.
+
+    Returns ``(output, columns)`` where ``columns`` is the im2col buffer needed
+    by the backward pass.
+    """
+    n, _, h, w = x.shape
+    f, _, kh, kw = weight.shape
+    cols = im2col(x, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
+    w_mat = weight.reshape(f, -1)  # (F, C*kh*kw)
+    out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+    out += bias.reshape(1, f, 1)
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    return out.reshape(n, f, out_h, out_w).astype(np.float32), cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    n, f, out_h, out_w = grad_out.shape
+    _, _, kh, kw = weight.shape
+    grad_mat = grad_out.reshape(n, f, out_h * out_w)  # (N, F, L)
+    w_mat = weight.reshape(f, -1)  # (F, K)
+
+    grad_weight = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True).reshape(weight.shape)
+    grad_bias = grad_out.sum(axis=(0, 2, 3))
+    grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat, optimize=True)
+    grad_input = col2im(grad_cols, x_shape, (kh, kw), stride, padding)
+    return (
+        grad_input.astype(np.float32),
+        grad_weight.astype(np.float32),
+        grad_bias.astype(np.float32),
+    )
+
+
+# -------------------------------------------------------------------- pooling
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int = 2, stride: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling forward pass; returns ``(output, argmax_indices)``."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    # view patches via im2col over each channel independently
+    cols = im2col(x.reshape(n * c, 1, h, w), (kernel, kernel), stride, 0)
+    cols = cols.reshape(n * c, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=1)  # (N*C, L)
+    out = np.take_along_axis(cols, argmax[:, np.newaxis, :], axis=1).squeeze(1)
+    return out.reshape(n, c, out_h, out_w).astype(np.float32), argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int = 2,
+    stride: int = 2,
+) -> np.ndarray:
+    """Backward pass of :func:`maxpool2d_forward`."""
+    n, c, h, w = x_shape
+    _, _, out_h, out_w = grad_out.shape
+    grad_cols = np.zeros((n * c, kernel * kernel, out_h * out_w), dtype=np.float32)
+    grad_flat = grad_out.reshape(n * c, out_h * out_w)
+    np.put_along_axis(grad_cols, argmax[:, np.newaxis, :], grad_flat[:, np.newaxis, :], axis=1)
+    grad_input = col2im(grad_cols, (n * c, 1, h, w), (kernel, kernel), stride, 0)
+    return grad_input.reshape(n, c, h, w).astype(np.float32)
+
+
+# ---------------------------------------------------------------- activations
+def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU forward; returns ``(output, mask)``."""
+    mask = x > 0
+    return (x * mask).astype(np.float32), mask
+
+
+def relu_backward(grad_out: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """ReLU backward."""
+    return (grad_out * mask).astype(np.float32)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    return (z - np.log(np.exp(z).sum(axis=axis, keepdims=True))).astype(np.float32)

@@ -1,0 +1,30 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def he_normal(
+    shape: Tuple[int, ...], fan_in: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """He/Kaiming normal initialisation, appropriate for ReLU networks."""
+    rng = rng or np.random.default_rng(0)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def glorot_uniform(
+    shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = rng or np.random.default_rng(0)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float32)

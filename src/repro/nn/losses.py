@@ -1,0 +1,60 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient with
+    respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self) -> None:
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=np.int64)
+        log_p = log_softmax(logits)
+        n = logits.shape[0]
+        loss = -float(np.mean(log_p[np.arange(n), labels]))
+        self._cache = (softmax(logits), labels)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels = self._cache
+        n = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return (grad / n).astype(np.float32)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error (used by the substitute-training utilities)."""
+
+    def __init__(self) -> None:
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        self._cache = (prediction, np.asarray(target, dtype=np.float32))
+        return float(np.mean((prediction - target) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        prediction, target = self._cache
+        return (2.0 * (prediction - target) / prediction.size).astype(np.float32)
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)

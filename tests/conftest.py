@@ -1,0 +1,79 @@
+"""Shared fixtures: tiny datasets and models sized for fast unit testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import Classifier
+from repro.datasets import generate_digits, train_test_split
+from repro.nn import Adam, build_lenet5, train_classifier
+from repro.nn.models import convert_to_approximate
+
+
+@pytest.fixture(scope="session")
+def digit_split():
+    """A small synthetic-digit split shared across the test session."""
+    dataset = generate_digits(n_samples=2400, size=16, seed=7)
+    return train_test_split(dataset, test_fraction=0.15)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(digit_split):
+    """A small LeNet trained well enough for attack and defense tests (~93 % accuracy)."""
+    model = build_lenet5(
+        digit_split.train.input_shape,
+        conv_channels=(8, 16),
+        fc_sizes=(64, 48),
+        dropout=0.2,
+        seed=3,
+    )
+    optimizer = Adam(model.parameters(), lr=0.002)
+    train_classifier(
+        model,
+        optimizer,
+        digit_split.train.images,
+        digit_split.train.labels,
+        epochs=30,
+        batch_size=64,
+        rng=np.random.default_rng(3),
+    )
+    optimizer.lr = 0.0005
+    train_classifier(
+        model,
+        optimizer,
+        digit_split.train.images,
+        digit_split.train.labels,
+        epochs=5,
+        batch_size=64,
+        rng=np.random.default_rng(4),
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_approx_model(tiny_model):
+    """The Defensive Approximation conversion of the tiny model."""
+    return convert_to_approximate(tiny_model)
+
+
+@pytest.fixture()
+def tiny_classifier(tiny_model):
+    """Attack facade around the tiny exact model."""
+    return Classifier(tiny_model)
+
+
+@pytest.fixture()
+def tiny_approx_classifier(tiny_approx_model):
+    """Attack facade around the tiny approximate model."""
+    return Classifier(tiny_approx_model)
+
+
+@pytest.fixture(scope="session")
+def attack_samples(digit_split, tiny_model):
+    """A handful of correctly classified test samples for attack tests."""
+    images = digit_split.test.images
+    labels = digit_split.test.labels
+    preds = tiny_model.predict(images)
+    correct = np.flatnonzero(preds == labels)[:6]
+    return images[correct], labels[correct]

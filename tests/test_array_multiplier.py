@@ -1,0 +1,149 @@
+"""Unit and property tests for the gate-level array multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.adders import AMA5, ExactFullAdder
+from repro.arith.array_multiplier import (
+    ArrayMultiplier,
+    HeterogeneousCellPolicy,
+    UniformCellPolicy,
+)
+
+
+def test_exact_cells_give_exact_products():
+    m = ArrayMultiplier(8, "exact")
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=500)
+    b = rng.integers(0, 256, size=500)
+    np.testing.assert_array_equal(m.multiply(a, b), (a * b).astype(np.uint64))
+
+
+def test_exact_cells_give_exact_products_for_both_wirings():
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 128, size=200)
+    b = rng.integers(0, 128, size=200)
+    for wiring in ("partial_product", "accumulator"):
+        m = ArrayMultiplier(7, "exact", port_a=wiring)
+        np.testing.assert_array_equal(m.multiply(a, b), (a * b).astype(np.uint64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=2 ** 10 - 1),
+    b=st.integers(min_value=0, max_value=2 ** 10 - 1),
+)
+def test_exact_array_matches_integer_multiplication(a, b):
+    m = ArrayMultiplier(10, "exact")
+    assert int(m.multiply(np.array([a]), np.array([b]))[0]) == a * b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=2 ** 8 - 1),
+    b=st.integers(min_value=0, max_value=2 ** 8 - 1),
+)
+def test_approximate_product_is_bounded(a, b):
+    """Any cell policy must produce a product representable in 2n+1 bits."""
+    m = ArrayMultiplier(8, "ama5")
+    product = int(m.multiply(np.array([a]), np.array([b]))[0])
+    assert 0 <= product < 2 ** 17
+
+
+def test_multiply_by_zero_with_ama5_is_zero():
+    m = ArrayMultiplier(8, "ama5")
+    values = np.arange(256)
+    np.testing.assert_array_equal(m.multiply(values, np.zeros_like(values)), np.zeros(256, dtype=np.uint64))
+    np.testing.assert_array_equal(m.multiply(np.zeros_like(values), values), np.zeros(256, dtype=np.uint64))
+
+
+def test_ama5_array_inflates_normalised_products():
+    """For normalised significands the AMA5 array overshoots the exact product
+    in the overwhelming majority of cases (the paper's Figure 3 observation)."""
+    rng = np.random.default_rng(2)
+    n = 9
+    a = rng.integers(2 ** (n - 1), 2 ** n, size=2000)
+    b = rng.integers(2 ** (n - 1), 2 ** n, size=2000)
+    approx = ArrayMultiplier(n, "ama5").multiply(a, b).astype(np.float64)
+    exact = (a * b).astype(np.float64)
+    assert np.mean(approx >= exact) > 0.9
+
+
+def test_operand_range_is_validated():
+    m = ArrayMultiplier(4, "exact")
+    with pytest.raises(ValueError):
+        m.multiply(np.array([16]), np.array([1]))
+
+
+def test_invalid_constructor_arguments():
+    with pytest.raises(ValueError):
+        ArrayMultiplier(0, "exact")
+    with pytest.raises(ValueError):
+        ArrayMultiplier(4, "exact", port_a="bogus")
+
+
+def test_lut_matches_direct_simulation():
+    m = ArrayMultiplier(5, "ama5")
+    lut = m.build_lut()
+    assert lut.shape == (32, 32)
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 32, size=300)
+    b = rng.integers(0, 32, size=300)
+    np.testing.assert_array_equal(lut[a, b], m.multiply(a, b))
+
+
+def test_lut_refused_for_wide_multipliers():
+    with pytest.raises(ValueError):
+        ArrayMultiplier(16, "exact").build_lut()
+
+
+def test_uniform_policy_description_and_cells():
+    policy = UniformCellPolicy("ama5")
+    assert isinstance(policy.cell_at(1, 0, 8), AMA5)
+    assert "ama5" in policy.describe()
+
+
+def test_heterogeneous_policy_splits_by_weight():
+    policy = HeterogeneousCellPolicy(approx_cell="ama5", exact_above_weight=0.5)
+    n = 8
+    low_cell = policy.cell_at(1, 0, n)  # weight 1 < 8
+    high_cell = policy.cell_at(n - 1, n - 1, n)  # weight 14 >= 8
+    assert isinstance(low_cell, AMA5)
+    assert isinstance(high_cell, ExactFullAdder)
+
+
+def test_heterogeneous_array_error_between_exact_and_uniform():
+    rng = np.random.default_rng(4)
+    n = 8
+    a = rng.integers(2 ** (n - 1), 2 ** n, size=1000)
+    b = rng.integers(2 ** (n - 1), 2 ** n, size=1000)
+    exact = (a * b).astype(np.float64)
+    uniform_err = np.abs(ArrayMultiplier(n, "ama5").multiply(a, b).astype(np.float64) - exact).mean()
+    hetero = ArrayMultiplier(n, HeterogeneousCellPolicy(approx_cell="ama5", exact_above_weight=0.5))
+    hetero_err = np.abs(hetero.multiply(a, b).astype(np.float64) - exact).mean()
+    assert 0 < hetero_err < uniform_err
+
+
+def test_cell_census_counts_all_positions():
+    m = ArrayMultiplier(6, HeterogeneousCellPolicy(approx_cell="ama5", exact_above_weight=0.5))
+    census = m.cell_census()
+    assert sum(census.values()) == 5 * 6
+    assert set(census) <= {"ama5", "exact"}
+
+
+def test_single_bit_multiplier_is_an_and_gate():
+    m = ArrayMultiplier(1, "ama5")
+    for a in (0, 1):
+        for b in (0, 1):
+            assert int(m.multiply(np.array([a]), np.array([b]))[0]) == a & b
+
+
+def test_broadcasting_of_operands():
+    m = ArrayMultiplier(6, "exact")
+    a = np.arange(8).reshape(8, 1)
+    b = np.arange(4).reshape(1, 4)
+    product = m.multiply(a, b)
+    assert product.shape == (8, 4)
+    np.testing.assert_array_equal(product, (a * b).astype(np.uint64))

@@ -1,0 +1,97 @@
+"""Tests for the attack-facing Classifier facade."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import Classifier
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.network import Sequential
+
+
+def make_classifier(seed=0, in_features=9, classes=4):
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        [Flatten(), Linear(in_features, 8, rng=rng), ReLU(), Linear(8, classes, rng=rng)]
+    )
+    return Classifier(model)
+
+
+def test_predict_and_query_counting():
+    clf = make_classifier()
+    x = np.random.default_rng(1).uniform(0, 1, size=(5, 1, 3, 3)).astype(np.float32)
+    labels = clf.predict(x)
+    assert labels.shape == (5,)
+    assert clf.query_count == 5
+    clf.reset_counters()
+    assert clf.query_count == 0
+
+
+def test_predict_proba_sums_to_one():
+    clf = make_classifier()
+    x = np.random.default_rng(2).uniform(0, 1, size=(3, 1, 3, 3)).astype(np.float32)
+    probs = clf.predict_proba(x)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+
+def test_num_classes_inferred_from_head():
+    assert make_classifier(classes=7).num_classes == 7
+
+
+def test_loss_gradient_matches_numerical():
+    clf = make_classifier(seed=3)
+    rng = np.random.default_rng(4)
+    x = rng.uniform(0, 1, size=(2, 1, 3, 3)).astype(np.float64)
+    y = np.array([0, 2])
+    grad = clf.loss_gradient(x.astype(np.float32), y)
+
+    from repro.nn.losses import CrossEntropyLoss
+
+    def loss_of(xx):
+        return CrossEntropyLoss().forward(clf.model.predict_logits(xx.astype(np.float32)), y) * len(y)
+
+    eps = 1e-3
+    num = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_n = num.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = loss_of(x)
+        flat_x[i] = orig - eps
+        minus = loss_of(x)
+        flat_x[i] = orig
+        flat_n[i] = (plus - minus) / (2 * eps)
+    np.testing.assert_allclose(grad, num, rtol=5e-2, atol=1e-3)
+
+
+def test_class_gradient_points_to_requested_class():
+    clf = make_classifier(seed=5)
+    x = np.random.default_rng(6).uniform(0, 1, size=(1, 1, 3, 3)).astype(np.float32)
+    grad = clf.class_gradient(x, np.array([1]))
+    assert grad.shape == x.shape
+    # moving along the gradient must increase that class logit
+    logits_before = clf.model.predict_logits(x)[0, 1]
+    logits_after = clf.model.predict_logits(x + 1e-2 * grad)[0, 1]
+    assert logits_after > logits_before
+
+
+def test_jacobian_shape_and_consistency_with_class_gradient():
+    clf = make_classifier(seed=7)
+    x = np.random.default_rng(8).uniform(0, 1, size=(2, 1, 3, 3)).astype(np.float32)
+    jac = clf.jacobian(x)
+    assert jac.shape == (2, clf.num_classes, 1, 3, 3)
+    grad_class0 = clf.class_gradient(x, np.array([0, 0]))
+    np.testing.assert_allclose(jac[:, 0], grad_class0, rtol=1e-5, atol=1e-6)
+
+
+def test_gradient_counter_increments():
+    clf = make_classifier()
+    x = np.random.default_rng(9).uniform(0, 1, size=(3, 1, 3, 3)).astype(np.float32)
+    clf.loss_gradient(x, np.array([0, 1, 2]))
+    assert clf.gradient_count == 3
+
+
+def test_clip_respects_bounds():
+    clf = make_classifier()
+    x = np.array([-1.0, 0.5, 2.0], dtype=np.float32)
+    np.testing.assert_array_equal(clf.clip(x), [0.0, 0.5, 1.0])

@@ -1,0 +1,62 @@
+"""Tests for image distance / quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import l0_distance, l2_distance, linf_distance, mse, psnr
+
+
+def test_identical_images_have_zero_distance():
+    x = np.random.default_rng(0).uniform(0, 1, size=(2, 1, 4, 4)).astype(np.float32)
+    assert np.all(l0_distance(x, x) == 0)
+    assert np.all(l2_distance(x, x) == 0)
+    assert np.all(linf_distance(x, x) == 0)
+    assert np.all(mse(x, x) == 0)
+    assert np.all(np.isinf(psnr(x, x)))
+
+
+def test_l0_counts_changed_pixels():
+    a = np.zeros((1, 1, 2, 2), dtype=np.float32)
+    b = a.copy()
+    b[0, 0, 0, 0] = 1.0
+    b[0, 0, 1, 1] = 0.5
+    assert l0_distance(a, b)[0] == 2
+
+
+def test_l2_known_value():
+    a = np.zeros((1, 1, 1, 2), dtype=np.float32)
+    b = np.array([[[[3.0, 4.0]]]], dtype=np.float32)
+    assert l2_distance(a, b)[0] == pytest.approx(5.0)
+
+
+def test_linf_known_value():
+    a = np.zeros((1, 1, 1, 3), dtype=np.float32)
+    b = np.array([[[[0.1, -0.7, 0.3]]]], dtype=np.float32)
+    assert linf_distance(a, b)[0] == pytest.approx(0.7)
+
+
+def test_mse_and_psnr_relationship():
+    a = np.zeros((1, 1, 4, 4), dtype=np.float32)
+    b = np.full((1, 1, 4, 4), 0.1, dtype=np.float32)
+    m = mse(a, b)[0]
+    assert m == pytest.approx(0.01)
+    assert psnr(a, b)[0] == pytest.approx(20.0, abs=1e-3)
+
+
+def test_psnr_decreases_with_noise():
+    rng = np.random.default_rng(1)
+    clean = rng.uniform(0, 1, size=(3, 1, 8, 8)).astype(np.float32)
+    small = np.clip(clean + rng.normal(0, 0.01, clean.shape), 0, 1)
+    large = np.clip(clean + rng.normal(0, 0.2, clean.shape), 0, 1)
+    assert np.all(psnr(clean, small) > psnr(clean, large))
+
+
+def test_single_image_inputs_are_accepted():
+    a = np.zeros((1, 4, 4), dtype=np.float32)
+    b = np.ones((1, 4, 4), dtype=np.float32)
+    assert l2_distance(a, b).shape == (1,)
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        l2_distance(np.zeros((1, 1, 2, 2)), np.zeros((1, 1, 3, 3)))

@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators and containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    OBJECT_CLASS_NAMES,
+    Dataset,
+    generate_digits,
+    generate_objects,
+    render_digit,
+    render_object,
+    train_test_split,
+)
+
+
+def test_render_digit_shape_and_range():
+    image = render_digit(3, size=16, rng=np.random.default_rng(0))
+    assert image.shape == (1, 16, 16)
+    assert image.min() >= 0.0 and image.max() <= 1.0
+    assert image.max() > 0.3  # the glyph is actually drawn
+
+
+def test_render_digit_validates_arguments():
+    with pytest.raises(ValueError):
+        render_digit(11)
+    with pytest.raises(ValueError):
+        render_digit(1, size=4)
+
+
+def test_render_digit_canonical_is_deterministic():
+    a = render_digit(7, size=16, jitter=False)
+    b = render_digit(7, size=16, jitter=False)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_digits_are_distinguishable_without_jitter():
+    """Canonical renderings of different digits must differ substantially."""
+    images = [render_digit(d, size=16, jitter=False) for d in range(10)]
+    for i in range(10):
+        for j in range(i + 1, 10):
+            assert np.abs(images[i] - images[j]).mean() > 0.01
+
+
+def test_generate_digits_shapes_balance_and_determinism():
+    dataset = generate_digits(100, size=14, seed=5)
+    assert dataset.images.shape == (100, 1, 14, 14)
+    assert dataset.labels.shape == (100,)
+    counts = np.bincount(dataset.labels, minlength=10)
+    assert counts.min() == 10 and counts.max() == 10
+    again = generate_digits(100, size=14, seed=5)
+    np.testing.assert_array_equal(dataset.images, again.images)
+
+
+def test_render_object_shape_and_range():
+    image = render_object(0, size=24, rng=np.random.default_rng(1))
+    assert image.shape == (3, 24, 24)
+    assert image.min() >= 0.0 and image.max() <= 1.0
+
+
+def test_render_object_validates_arguments():
+    with pytest.raises(ValueError):
+        render_object(10)
+    with pytest.raises(ValueError):
+        render_object(0, size=4)
+
+
+def test_generate_objects_covers_all_classes():
+    dataset = generate_objects(60, size=20, seed=2)
+    assert dataset.images.shape == (60, 3, 20, 20)
+    assert set(np.unique(dataset.labels)) == set(range(len(OBJECT_CLASS_NAMES)))
+
+
+def test_object_classes_are_visually_distinct():
+    """Mean images of different classes must differ (the classifier needs signal)."""
+    dataset = generate_objects(200, size=20, seed=3)
+    means = [dataset.images[dataset.labels == c].mean(axis=0) for c in range(10)]
+    for i in range(10):
+        for j in range(i + 1, 10):
+            assert np.abs(means[i] - means[j]).mean() > 0.005
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((3, 4)), np.zeros(3))  # not 4D
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((3, 1, 4, 4)), np.zeros(2))  # length mismatch
+
+
+def test_dataset_properties_and_subset():
+    dataset = generate_digits(50, size=12, seed=4)
+    assert len(dataset) == 50
+    assert dataset.num_classes == 10
+    assert dataset.input_shape == (1, 12, 12)
+    subset = dataset.subset(np.arange(5))
+    assert len(subset) == 5
+
+
+def test_sample_per_class_balances():
+    dataset = generate_digits(100, size=12, seed=6)
+    balanced = dataset.sample_per_class(3)
+    counts = np.bincount(balanced.labels, minlength=10)
+    assert np.all(counts == 3)
+
+
+def test_batches_cover_dataset():
+    dataset = generate_digits(37, size=12, seed=7)
+    seen = 0
+    for xb, yb in dataset.batches(batch_size=10):
+        assert len(xb) == len(yb)
+        seen += len(xb)
+    assert seen == 37
+
+
+def test_train_test_split_sizes_and_disjointness():
+    dataset = generate_digits(100, size=12, seed=8)
+    split = train_test_split(dataset, test_fraction=0.25)
+    assert len(split.test) == 25
+    assert len(split.train) == 75
+
+
+def test_train_test_split_invalid_fraction():
+    dataset = generate_digits(20, size=12, seed=9)
+    with pytest.raises(ValueError):
+        train_test_split(dataset, test_fraction=1.5)

@@ -1,0 +1,176 @@
+"""Tests for the DA defense wrapper, confidence analysis and threat-model harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.arith.fpm import Bfloat16Multiplier
+from repro.attacks import FGSM, PGD
+from repro.attacks.base import Classifier
+from repro.core.confidence import classification_confidence, compare_confidence
+from repro.core.defense import DefensiveApproximation
+from repro.core.evaluation import (
+    evaluate_black_box,
+    evaluate_transferability,
+    evaluate_white_box,
+    select_correctly_classified,
+)
+from repro.core.results import format_percentage, format_table
+from repro.core.substitute import train_substitute
+
+
+# ----------------------------------------------------------------- defense
+def test_defense_builds_approximate_model_sharing_weights(tiny_model):
+    defense = DefensiveApproximation(tiny_model)
+    assert defense.approximate_model is not tiny_model
+    assert defense.approximate_model.layers[0].weight is tiny_model.layers[0].weight
+
+
+def test_defense_accuracy_report(tiny_model, digit_split):
+    defense = DefensiveApproximation(tiny_model)
+    report = defense.accuracy_report(digit_split.test.images[:60], digit_split.test.labels[:60])
+    assert report.exact_accuracy > 0.7
+    assert report.approximate_accuracy > 0.5
+    assert report.accuracy_drop == pytest.approx(
+        report.exact_accuracy - report.approximate_accuracy
+    )
+
+
+def test_defense_with_bfloat16_multiplier_tracks_exact(tiny_model, digit_split):
+    defense = DefensiveApproximation(tiny_model, multiplier=Bfloat16Multiplier())
+    x = digit_split.test.images[:20]
+    np.testing.assert_array_equal(defense.predict(x), tiny_model.predict(x))
+
+
+def test_defense_classifier_facades(tiny_model):
+    defense = DefensiveApproximation(tiny_model)
+    assert isinstance(defense.exact_classifier(), Classifier)
+    assert isinstance(defense.defended_classifier(), Classifier)
+
+
+# -------------------------------------------------------------- confidence
+def test_classification_confidence_range(tiny_model, digit_split):
+    conf = classification_confidence(
+        tiny_model, digit_split.test.images[:40], digit_split.test.labels[:40]
+    )
+    assert conf.shape == (40,)
+    assert np.all(conf >= -1.0) and np.all(conf <= 1.0)
+
+
+def test_da_confidence_enhancement(tiny_model, tiny_approx_model, digit_split):
+    """Figure 12: on samples both classifiers get right, the approximate
+    classifier is at least as confident as the exact one."""
+    x = digit_split.test.images[:150]
+    y = digit_split.test.labels[:150]
+    both_correct = np.flatnonzero((tiny_model.predict(x) == y) & (tiny_approx_model.predict(x) == y))
+    comparison = compare_confidence(tiny_model, tiny_approx_model, x[both_correct], y[both_correct])
+    exact_mean, approx_mean = comparison.mean_confidence()
+    assert approx_mean > exact_mean - 0.05
+    cdf = comparison.cumulative_distribution(n_points=21)
+    assert cdf["thresholds"].shape == (21,)
+    assert cdf["exact_cdf"][-1] == pytest.approx(1.0)
+
+
+# ------------------------------------------------------------- evaluation
+def test_select_correctly_classified(tiny_classifier, digit_split):
+    indices = select_correctly_classified(
+        tiny_classifier, digit_split.test.images[:50], digit_split.test.labels[:50], max_samples=10
+    )
+    assert len(indices) <= 10
+    preds = tiny_classifier.predict(digit_split.test.images[:50][indices])
+    np.testing.assert_array_equal(preds, digit_split.test.labels[:50][indices])
+
+
+def test_transferability_da_blunts_fgsm(tiny_model, tiny_approx_model, digit_split):
+    """The core claim (Tables 2/3): attacks crafted on the exact model transfer
+    poorly to the DA model."""
+    source = Classifier(tiny_model)
+    targets = {"exact": Classifier(tiny_model), "approximate": Classifier(tiny_approx_model)}
+    evaluation = evaluate_transferability(
+        source,
+        targets,
+        FGSM(epsilon=0.2),
+        digit_split.test.images,
+        digit_split.test.labels,
+        max_samples=12,
+    )
+    assert evaluation.source_success_rate > 0.4
+    # replaying against the source itself succeeds by construction
+    assert evaluation.target_success_rates["exact"] == pytest.approx(1.0)
+    assert (
+        evaluation.target_success_rates["approximate"]
+        <= evaluation.target_success_rates["exact"]
+    )
+    assert evaluation.target_robustness["approximate"] == pytest.approx(
+        1.0 - evaluation.target_success_rates["approximate"]
+    )
+
+
+def test_transferability_summary_row_format(tiny_model, tiny_approx_model, digit_split):
+    source = Classifier(tiny_model)
+    targets = {"da": Classifier(tiny_approx_model)}
+    evaluation = evaluate_transferability(
+        source, targets, FGSM(epsilon=0.2), digit_split.test.images, digit_split.test.labels,
+        max_samples=6,
+    )
+    row = evaluation.summary_row(["da"])
+    assert row[0] == "fgsm"
+    assert row[1].endswith("%")
+
+
+def test_black_box_evaluation(tiny_model, tiny_approx_model, digit_split):
+    victim = Classifier(tiny_approx_model)
+    substitute = Classifier(tiny_model)  # stand-in substitute: the exact twin
+    evaluation = evaluate_black_box(
+        victim,
+        substitute,
+        FGSM(epsilon=0.2),
+        digit_split.test.images,
+        digit_split.test.labels,
+        max_samples=10,
+    )
+    assert 0.0 <= evaluation.substitute_success_rate <= 1.0
+    assert 0.0 <= evaluation.victim_success_rate <= 1.0
+    assert evaluation.victim_robustness == pytest.approx(1.0 - evaluation.victim_success_rate)
+
+
+def test_white_box_evaluation_reports_perturbation_stats(tiny_classifier, digit_split):
+    evaluation = evaluate_white_box(
+        tiny_classifier,
+        PGD(epsilon=0.2, steps=10),
+        digit_split.test.images,
+        digit_split.test.labels,
+        max_samples=8,
+        victim_name="exact",
+    )
+    assert evaluation.victim_name == "exact"
+    assert evaluation.n_samples <= 8
+    if evaluation.success_rate > 0:
+        assert evaluation.mean_l2 > 0
+        assert evaluation.mean_psnr > 0
+        assert evaluation.mean_mse > 0
+
+
+def test_substitute_training_learns_victim_behaviour(tiny_model, digit_split):
+    victim = Classifier(tiny_model)
+    substitute = train_substitute(
+        victim.predict,
+        digit_split.train.images[:600],
+        epochs=15,
+        augmentation_rounds=1,
+        seed=1,
+    )
+    x = digit_split.test.images[:80]
+    agreement = np.mean(substitute.predict(x) == tiny_model.predict(x))
+    assert agreement > 0.4
+
+
+# ----------------------------------------------------------------- results
+def test_format_table_alignment():
+    table = format_table(["a", "b"], [["x", 1.5], ["yy", 2]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "1.500" in table
+
+
+def test_format_percentage():
+    assert format_percentage(0.123) == "12%"

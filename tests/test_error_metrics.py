@@ -1,0 +1,74 @@
+"""Tests for multiplier error metrics and noise profiling."""
+
+import numpy as np
+import pytest
+
+from repro.arith.error_metrics import mred, nmed, profile_multiplier
+from repro.arith.fpm import AxFPM, Bfloat16Multiplier, ExactMultiplier, HEAPMultiplier
+
+
+def test_mred_known_value():
+    exact = np.array([1.0, 2.0, 4.0])
+    approx = np.array([1.1, 2.2, 4.4])
+    assert mred(exact, approx) == pytest.approx(0.1)
+
+
+def test_mred_ignores_zero_reference_entries():
+    exact = np.array([0.0, 2.0])
+    approx = np.array([5.0, 2.2])
+    assert mred(exact, approx) == pytest.approx(0.1)
+
+
+def test_mred_all_zero_reference():
+    assert mred(np.zeros(4), np.ones(4)) == 0.0
+
+
+def test_nmed_known_value():
+    exact = np.array([1.0, -2.0, 4.0])
+    approx = np.array([1.5, -2.5, 4.5])
+    assert nmed(exact, approx) == pytest.approx(0.5 / 4.0)
+
+
+def test_nmed_zero_reference():
+    assert nmed(np.zeros(3), np.ones(3)) == 0.0
+
+
+def test_profile_exact_multiplier_has_no_error():
+    profile = profile_multiplier(ExactMultiplier(), n_samples=2000)
+    assert profile.mred == 0.0
+    assert profile.nmed == 0.0
+    assert profile.max_abs_error == 0.0
+
+
+def test_profile_axfpm_matches_paper_shape():
+    """Figure 3 / Table 8 shape: MRED around a third, strong magnitude inflation,
+    positive correlation between operand magnitude and error."""
+    profile = profile_multiplier(AxFPM(frac_bits=8), n_samples=20000)
+    assert 0.2 < profile.mred < 0.6
+    assert profile.fraction_magnitude_inflated > 0.9
+    assert profile.error_magnitude_correlation > 0.3
+
+
+def test_profile_heap_is_milder_than_axfpm():
+    ax = profile_multiplier(AxFPM(frac_bits=8), n_samples=10000)
+    heap = profile_multiplier(HEAPMultiplier(frac_bits=8), n_samples=10000)
+    assert heap.mred < ax.mred
+    assert heap.fraction_magnitude_inflated < ax.fraction_magnitude_inflated
+
+
+def test_profile_bfloat16_noise_is_tiny():
+    profile = profile_multiplier(Bfloat16Multiplier(), n_samples=10000)
+    assert profile.mred < 0.02
+    assert profile.fraction_magnitude_inflated < 0.1
+
+
+def test_profile_respects_operand_range():
+    profile = profile_multiplier(AxFPM(frac_bits=8), n_samples=500, operand_range=(0.0, 0.5))
+    assert profile.operand_low == 0.0
+    assert profile.operand_high == 0.5
+    assert np.all(np.abs(profile.exact_products) <= 0.25 + 1e-6)
+
+
+def test_profile_summary_mentions_multiplier_name():
+    profile = profile_multiplier(AxFPM(frac_bits=6), n_samples=500)
+    assert "axfpm" in profile.summary()

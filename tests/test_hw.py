@@ -1,0 +1,83 @@
+"""Tests for the hardware energy/delay cost model."""
+
+import pytest
+
+from repro.arith.array_multiplier import ArrayMultiplier, HeterogeneousCellPolicy
+from repro.arith.fpm import AxFPM, Bfloat16Multiplier, ExactMultiplier, HEAPMultiplier
+from repro.hw.energy_model import (
+    estimate_array_multiplier_cost,
+    estimate_fpm_cost,
+)
+from repro.hw.report import cost_summary, energy_delay_table, mantissa_energy_delay_table
+
+
+def test_ama5_array_is_cheaper_than_exact_array():
+    exact = estimate_array_multiplier_cost(ArrayMultiplier(24, "exact"))
+    ax = estimate_array_multiplier_cost(ArrayMultiplier(24, "ama5"))
+    assert ax.energy < exact.energy
+    assert ax.delay < exact.delay
+
+
+def test_heterogeneous_array_between_exact_and_uniform():
+    exact = estimate_array_multiplier_cost(ArrayMultiplier(24, "exact"))
+    ax = estimate_array_multiplier_cost(ArrayMultiplier(24, "ama5"))
+    hetero = estimate_array_multiplier_cost(
+        ArrayMultiplier(24, HeterogeneousCellPolicy(approx_cell="ama5", exact_above_weight=0.5))
+    )
+    assert ax.energy < hetero.energy < exact.energy
+
+
+def test_fpm_cost_ordering_matches_table7():
+    exact = estimate_fpm_cost(ExactMultiplier())
+    ax = estimate_fpm_cost(AxFPM())
+    bf16 = estimate_fpm_cost(Bfloat16Multiplier())
+    assert ax.energy < exact.energy
+    assert bf16.energy < exact.energy
+    assert ax.delay < exact.delay
+
+
+def test_fpm_cost_rejects_unknown_multiplier():
+    class Mystery:
+        name = "mystery"
+
+    with pytest.raises(TypeError):
+        estimate_fpm_cost(Mystery())  # type: ignore[arg-type]
+
+
+def test_normalisation():
+    exact = estimate_fpm_cost(ExactMultiplier())
+    normalised = exact.normalised_to(exact)
+    assert normalised.energy == pytest.approx(1.0)
+    assert normalised.delay == pytest.approx(1.0)
+
+
+def test_energy_delay_table_shape_and_values():
+    table = energy_delay_table()
+    names = [row[0] for row in table]
+    assert names == ["Exact multiplier", "Ax-FPM", "Bfloat16"]
+    exact_row, ax_row, bf_row = table
+    assert exact_row[1] == pytest.approx(1.0)
+    # the paper reports roughly 50 % energy and 70 % delay savings for Ax-FPM
+    assert 0.3 < ax_row[1] < 0.7
+    assert 0.15 < ax_row[2] < 0.5
+    assert bf_row[1] < 1.0
+
+
+def test_mantissa_energy_delay_table_ordering():
+    table = mantissa_energy_delay_table()
+    by_name = {row[0]: row for row in table}
+    assert by_name["Ax-FPM"][1] < by_name["HEAP"][1] < by_name["Exact multiplier"][1]
+    assert by_name["Ax-FPM"][2] < by_name["HEAP"][2] <= by_name["Exact multiplier"][2]
+
+
+def test_cost_summary_contains_all_designs():
+    summary = cost_summary()
+    assert set(summary) == {"exact", "axfpm", "heap", "bfloat16"}
+    assert summary["axfpm"].energy < summary["exact"].energy
+
+
+def test_heap_fpm_energy_between_ax_and_exact():
+    exact = estimate_fpm_cost(ExactMultiplier())
+    heap = estimate_fpm_cost(HEAPMultiplier())
+    ax = estimate_fpm_cost(AxFPM())
+    assert ax.energy < heap.energy < exact.energy

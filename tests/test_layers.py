@@ -1,0 +1,169 @@
+"""Tests for the layer modules (forward/backward correctness, parameter handling)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+)
+
+
+def test_parameter_zero_grad_and_shape():
+    p = Parameter(np.ones((2, 3)), name="w")
+    p.grad += 5.0
+    p.zero_grad()
+    np.testing.assert_array_equal(p.grad, np.zeros((2, 3)))
+    assert p.shape == (2, 3)
+
+
+def test_conv2d_forward_shape_and_parameters():
+    layer = Conv2d(3, 8, 3, padding=1)
+    x = np.random.default_rng(0).normal(size=(4, 3, 10, 10)).astype(np.float32)
+    out = layer.forward(x)
+    assert out.shape == (4, 8, 10, 10)
+    assert len(layer.parameters()) == 2
+
+
+def test_conv2d_backward_requires_forward():
+    layer = Conv2d(1, 1, 3)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+def test_conv2d_backward_accumulates_gradients():
+    layer = Conv2d(1, 2, 3)
+    x = np.random.default_rng(1).normal(size=(2, 1, 6, 6)).astype(np.float32)
+    out = layer.forward(x)
+    layer.backward(np.ones_like(out))
+    first = layer.weight.grad.copy()
+    layer.forward(x)
+    layer.backward(np.ones_like(out))
+    np.testing.assert_allclose(layer.weight.grad, 2 * first, rtol=1e-5)
+
+
+def test_linear_forward_backward_consistency():
+    layer = Linear(5, 3)
+    x = np.random.default_rng(2).normal(size=(4, 5)).astype(np.float32)
+    out = layer.forward(x)
+    assert out.shape == (4, 3)
+    grad_in = layer.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+    np.testing.assert_allclose(layer.bias.grad, np.full(3, 4.0), rtol=1e-5)
+
+
+def test_linear_gradient_matches_numerical():
+    rng = np.random.default_rng(3)
+    layer = Linear(4, 2, rng=rng)
+    x = rng.normal(size=(3, 4)).astype(np.float32)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape).astype(np.float32)
+    grad_in = layer.backward(grad_out)
+    eps = 1e-3
+    num = np.zeros_like(x)
+    for i in range(x.shape[0]):
+        for j in range(x.shape[1]):
+            xp = x.copy()
+            xp[i, j] += eps
+            xm = x.copy()
+            xm[i, j] -= eps
+            num[i, j] = (np.sum(layer.forward(xp) * grad_out) - np.sum(layer.forward(xm) * grad_out)) / (
+                2 * eps
+            )
+    np.testing.assert_allclose(grad_in, num, rtol=1e-2, atol=1e-3)
+
+
+def test_relu_module_roundtrip():
+    layer = ReLU()
+    x = np.array([[-1.0, 2.0]], dtype=np.float32)
+    out = layer.forward(x)
+    grad = layer.backward(np.array([[1.0, 1.0]], dtype=np.float32))
+    np.testing.assert_array_equal(out, [[0.0, 2.0]])
+    np.testing.assert_array_equal(grad, [[0.0, 1.0]])
+
+
+def test_maxpool_module_shapes():
+    layer = MaxPool2d(2)
+    x = np.random.default_rng(4).normal(size=(2, 3, 8, 8)).astype(np.float32)
+    out = layer.forward(x)
+    assert out.shape == (2, 3, 4, 4)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_flatten_roundtrip():
+    layer = Flatten()
+    x = np.random.default_rng(5).normal(size=(2, 3, 4, 4)).astype(np.float32)
+    out = layer.forward(x)
+    assert out.shape == (2, 48)
+    grad = layer.backward(out)
+    assert grad.shape == x.shape
+
+
+def test_dropout_identity_in_eval_mode():
+    layer = Dropout(0.5)
+    layer.set_training(False)
+    x = np.ones((4, 10), dtype=np.float32)
+    np.testing.assert_array_equal(layer.forward(x), x)
+    np.testing.assert_array_equal(layer.backward(x), x)
+
+
+def test_dropout_masks_and_rescales_in_training_mode():
+    layer = Dropout(0.5, rng=np.random.default_rng(0))
+    layer.set_training(True)
+    x = np.ones((8, 100), dtype=np.float32)
+    out = layer.forward(x)
+    dropped = np.mean(out == 0.0)
+    assert 0.3 < dropped < 0.7
+    kept_values = out[out != 0]
+    np.testing.assert_allclose(kept_values, 2.0, rtol=1e-6)
+
+
+def test_dropout_invalid_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_batchnorm_normalises_in_training_mode():
+    layer = BatchNorm2d(3)
+    layer.set_training(True)
+    rng = np.random.default_rng(6)
+    x = (rng.normal(size=(8, 3, 5, 5)) * 4 + 2).astype(np.float32)
+    out = layer.forward(x)
+    assert abs(out.mean()) < 0.1
+    assert abs(out.std() - 1.0) < 0.1
+
+
+def test_batchnorm_uses_running_stats_in_eval_mode():
+    layer = BatchNorm2d(2)
+    rng = np.random.default_rng(7)
+    layer.set_training(True)
+    for _ in range(30):
+        layer.forward((rng.normal(size=(16, 2, 4, 4)) * 2 + 1).astype(np.float32))
+    layer.set_training(False)
+    x = (rng.normal(size=(4, 2, 4, 4)) * 2 + 1).astype(np.float32)
+    out = layer.forward(x)
+    assert abs(out.mean()) < 0.5
+
+
+def test_batchnorm_rejects_non_4d_input():
+    layer = BatchNorm2d(2)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((2, 2), dtype=np.float32))
+
+
+def test_batchnorm_backward_shape_and_parameter_grads():
+    layer = BatchNorm2d(3)
+    layer.set_training(True)
+    x = np.random.default_rng(8).normal(size=(4, 3, 4, 4)).astype(np.float32)
+    out = layer.forward(x)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert np.any(layer.gamma.grad != 0)
+    assert np.any(layer.beta.grad != 0)

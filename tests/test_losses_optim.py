@@ -1,0 +1,98 @@
+"""Tests for losses and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam
+
+
+def test_cross_entropy_known_value():
+    criterion = CrossEntropyLoss()
+    logits = np.array([[10.0, 0.0], [0.0, 10.0]], dtype=np.float32)
+    loss = criterion.forward(logits, np.array([0, 1]))
+    assert loss == pytest.approx(0.0, abs=1e-3)
+
+
+def test_cross_entropy_gradient_matches_numerical():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(3, 5)).astype(np.float64)
+    labels = np.array([1, 4, 0])
+    criterion = CrossEntropyLoss()
+    criterion.forward(logits.astype(np.float32), labels)
+    grad = criterion.backward()
+    eps = 1e-4
+    num = np.zeros_like(logits)
+    for i in range(3):
+        for j in range(5):
+            lp = logits.copy()
+            lp[i, j] += eps
+            lm = logits.copy()
+            lm[i, j] -= eps
+            num[i, j] = (
+                CrossEntropyLoss().forward(lp.astype(np.float32), labels)
+                - CrossEntropyLoss().forward(lm.astype(np.float32), labels)
+            ) / (2 * eps)
+    np.testing.assert_allclose(grad, num, rtol=5e-2, atol=2e-3)
+
+
+def test_cross_entropy_backward_before_forward_raises():
+    with pytest.raises(RuntimeError):
+        CrossEntropyLoss().backward()
+
+
+def test_mse_loss_and_gradient():
+    criterion = MSELoss()
+    pred = np.array([[1.0, 2.0]], dtype=np.float32)
+    target = np.array([[0.0, 0.0]], dtype=np.float32)
+    assert criterion.forward(pred, target) == pytest.approx(2.5)
+    grad = criterion.backward()
+    np.testing.assert_allclose(grad, [[1.0, 2.0]], rtol=1e-6)
+
+
+def test_sgd_plain_step():
+    p = Parameter(np.array([1.0, 1.0], dtype=np.float32))
+    opt = SGD([p], lr=0.1)
+    p.grad[:] = [1.0, -1.0]
+    opt.step()
+    np.testing.assert_allclose(p.value, [0.9, 1.1], rtol=1e-6)
+
+
+def test_sgd_momentum_accumulates():
+    p = Parameter(np.array([0.0], dtype=np.float32))
+    opt = SGD([p], lr=0.1, momentum=0.9)
+    for _ in range(3):
+        p.grad[:] = [1.0]
+        opt.step()
+        opt.zero_grad()
+    # velocity grows: 1, 1.9, 2.71 -> total update 0.1 * (1 + 1.9 + 2.71)
+    assert float(p.value[0]) == pytest.approx(-0.561, abs=1e-3)
+
+
+def test_sgd_weight_decay_shrinks_parameters():
+    p = Parameter(np.array([1.0], dtype=np.float32))
+    opt = SGD([p], lr=0.1, weight_decay=0.5)
+    p.grad[:] = [0.0]
+    opt.step()
+    assert float(p.value[0]) < 1.0
+
+
+def test_adam_converges_on_quadratic():
+    p = Parameter(np.array([5.0], dtype=np.float32))
+    opt = Adam([p], lr=0.2)
+    for _ in range(200):
+        opt.zero_grad()
+        p.grad[:] = 2 * p.value  # d/dx of x^2
+        opt.step()
+    assert abs(float(p.value[0])) < 0.05
+
+
+def test_zero_grad_clears_all_parameters():
+    params = [Parameter(np.ones(3)), Parameter(np.ones(2))]
+    opt = SGD(params, lr=0.1)
+    for p in params:
+        p.grad += 1.0
+    opt.zero_grad()
+    for p in params:
+        np.testing.assert_array_equal(p.grad, 0)

@@ -1,0 +1,137 @@
+"""Tests for the Sequential container and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_digits
+from repro.nn import Adam, CrossEntropyLoss, build_lenet5, evaluate_accuracy, train_classifier
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.network import Sequential
+
+
+def small_mlp(in_features=16, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Flatten(), Linear(in_features, 12, rng=rng), ReLU(), Linear(12, classes, rng=rng)],
+        name="mlp",
+    )
+
+
+def test_forward_backward_shapes():
+    model = small_mlp()
+    x = np.random.default_rng(0).normal(size=(5, 1, 4, 4)).astype(np.float32)
+    logits = model.forward(x)
+    assert logits.shape == (5, 3)
+    grad = model.backward(np.ones_like(logits))
+    assert grad.shape == x.shape
+
+
+def test_predict_helpers_consistency():
+    model = small_mlp()
+    x = np.random.default_rng(1).normal(size=(4, 1, 4, 4)).astype(np.float32)
+    logits = model.predict_logits(x)
+    probs = model.predict_proba(x)
+    labels = model.predict(x)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+    np.testing.assert_array_equal(labels, logits.argmax(axis=1))
+
+
+def test_predict_logits_restores_training_mode():
+    model = small_mlp()
+    model.set_training(True)
+    model.predict_logits(np.zeros((1, 1, 4, 4), dtype=np.float32))
+    assert model.training is True
+
+
+def test_state_dict_roundtrip():
+    model_a = small_mlp(seed=0)
+    model_b = small_mlp(seed=99)
+    model_b.load_state_dict(model_a.state_dict())
+    x = np.random.default_rng(2).normal(size=(3, 1, 4, 4)).astype(np.float32)
+    np.testing.assert_allclose(model_a.predict_logits(x), model_b.predict_logits(x), rtol=1e-6)
+
+
+def test_state_dict_mismatch_raises():
+    model = small_mlp()
+    other = Sequential([Flatten(), Linear(16, 3)])
+    with pytest.raises(KeyError):
+        other.load_state_dict(model.state_dict())
+
+
+def test_save_and_load(tmp_path):
+    model_a = small_mlp(seed=1)
+    path = tmp_path / "weights.npz"
+    model_a.save(str(path))
+    model_b = small_mlp(seed=42)
+    model_b.load(str(path))
+    x = np.random.default_rng(3).normal(size=(2, 1, 4, 4)).astype(np.float32)
+    np.testing.assert_allclose(model_a.predict_logits(x), model_b.predict_logits(x), rtol=1e-6)
+
+
+def test_num_parameters_counts_everything():
+    model = small_mlp()
+    expected = 16 * 12 + 12 + 12 * 3 + 3
+    assert model.num_parameters() == expected
+
+
+def test_zero_grad_resets_gradients():
+    model = small_mlp()
+    x = np.zeros((2, 1, 4, 4), dtype=np.float32)
+    logits = model.forward(x)
+    model.backward(np.ones_like(logits))
+    model.zero_grad()
+    assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+def test_training_reduces_loss_and_reaches_high_accuracy():
+    dataset = generate_digits(400, size=12, seed=11)
+    model = build_lenet5((1, 12, 12), conv_channels=(4, 8), fc_sizes=(32, 24), dropout=0.0, seed=1)
+    history = train_classifier(
+        model,
+        Adam(model.parameters(), lr=0.004),
+        dataset.images,
+        dataset.labels,
+        epochs=15,
+        batch_size=32,
+    )
+    assert history.losses[-1] < history.losses[0]
+    # well above the 10 % chance level on this deliberately tiny setup
+    assert history.train_accuracies[-1] > 0.4
+
+
+def test_training_history_tracks_validation():
+    dataset = generate_digits(200, size=12, seed=12)
+    model = build_lenet5((1, 12, 12), conv_channels=(4, 8), fc_sizes=(24, 16), dropout=0.0, seed=2)
+    history = train_classifier(
+        model,
+        Adam(model.parameters(), lr=0.003),
+        dataset.images[:150],
+        dataset.labels[:150],
+        dataset.images[150:],
+        dataset.labels[150:],
+        epochs=3,
+        batch_size=32,
+    )
+    assert len(history.val_accuracies) == 3
+    assert 0.0 <= history.final_val_accuracy <= 1.0
+
+
+def test_evaluate_accuracy_bounds():
+    dataset = generate_digits(50, size=12, seed=13)
+    model = build_lenet5((1, 12, 12), conv_channels=(4, 8), fc_sizes=(24, 16), dropout=0.0)
+    acc = evaluate_accuracy(model, dataset.images, dataset.labels)
+    assert 0.0 <= acc <= 1.0
+
+
+def test_cross_entropy_plus_network_gradient_direction():
+    """One SGD-style step along the gradient must reduce the loss."""
+    model = small_mlp(seed=5)
+    x = np.random.default_rng(6).normal(size=(8, 1, 4, 4)).astype(np.float32)
+    y = np.random.default_rng(7).integers(0, 3, size=8)
+    criterion = CrossEntropyLoss()
+    loss_before = criterion.forward(model.forward(x), y)
+    model.backward(criterion.backward())
+    for p in model.parameters():
+        p.value -= 0.05 * p.grad
+    loss_after = CrossEntropyLoss().forward(model.forward(x), y)
+    assert loss_after < loss_before

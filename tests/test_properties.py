@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) on core invariants across the stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.fpm import AxFPM, ExactMultiplier, HEAPMultiplier
+from repro.core.metrics import l2_distance, linf_distance, psnr
+from repro.nn.functional import softmax
+from repro.nn.quantize import quantize_tensor, quantize_weights
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(unit_floats, min_size=1, max_size=8),
+    b=st.lists(unit_floats, min_size=1, max_size=8),
+)
+def test_multipliers_agree_on_sign_and_zero(a, b):
+    n = min(len(a), len(b))
+    x = np.array(a[:n], dtype=np.float32)
+    y = np.array(b[:n], dtype=np.float32)
+    exact = ExactMultiplier().multiply(x, y)
+    for multiplier in (AxFPM(frac_bits=6), HEAPMultiplier(frac_bits=6)):
+        approx = multiplier.multiply(x, y)
+        # zero operands always produce zero
+        assert np.all(approx[(x == 0) | (y == 0)] == 0)
+        # non-zero products never change sign
+        nz = np.abs(exact) > 1e-20
+        assert np.all(np.sign(approx[nz]) == np.sign(exact[nz]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(logits=st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=2, max_size=10))
+def test_softmax_is_a_probability_distribution(logits):
+    logits32 = np.array([logits], dtype=np.float32)
+    probs = softmax(logits32)
+    assert np.all(probs >= 0)
+    assert abs(float(probs.sum()) - 1.0) < 1e-4
+    # the top class is preserved whenever the maximum is unambiguous in float32
+    sorted_logits = np.sort(logits32[0])
+    if len(logits) >= 2 and sorted_logits[-1] - sorted_logits[-2] > 1e-3:
+        assert int(probs.argmax()) == int(logits32[0].argmax())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(unit_floats, min_size=1, max_size=20),
+    bits=st.integers(min_value=1, max_value=8),
+)
+def test_quantize_tensor_properties(values, bits):
+    x = np.array(values, dtype=np.float32)
+    q = quantize_tensor(x, bits)
+    levels = (1 << bits) - 1
+    # output stays in [0, 1], on the quantisation grid, and within half a step
+    assert np.all(q >= 0) and np.all(q <= 1)
+    np.testing.assert_allclose(q * levels, np.round(q * levels), atol=1e-4)
+    assert np.all(np.abs(q - x) <= 0.5 / levels + 1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=20
+    ),
+    bits=st.integers(min_value=1, max_value=8),
+)
+def test_quantize_weights_bounded(weights, bits):
+    w = np.array(weights, dtype=np.float32)
+    q = quantize_weights(w, bits)
+    assert np.all(q >= -1.0 - 1e-6) and np.all(q <= 1.0 + 1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pixels=st.lists(unit_floats, min_size=4, max_size=16),
+    noise=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+def test_distance_metrics_consistency(pixels, noise):
+    n = len(pixels)
+    clean = np.array(pixels, dtype=np.float32).reshape(1, 1, 1, n)
+    perturbed = np.clip(clean + noise, 0, 1)
+    l2 = float(l2_distance(clean, perturbed)[0])
+    linf = float(linf_distance(clean, perturbed)[0])
+    # norm inequalities: linf <= l2 <= sqrt(n) * linf
+    assert linf <= l2 + 1e-6
+    assert l2 <= np.sqrt(n) * linf + 1e-6
+    # PSNR is monotone in the noise level
+    if noise > 0 and np.any(perturbed != clean):
+        assert psnr(clean, perturbed)[0] < np.inf
