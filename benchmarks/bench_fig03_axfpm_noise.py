@@ -4,28 +4,15 @@ The paper's observations: the error is data dependent, inflates the product
 magnitude in ~96 % of cases, and grows with the operand magnitude.
 """
 
-from benchmarks.common import report
-from repro.arith import AxFPM, profile_multiplier
-from repro.core.results import format_table
-
-
-def run_experiment():
-    profile = profile_multiplier(AxFPM(), n_samples=200_000, operand_range=(-1.0, 1.0))
-    rows = [
-        ("samples", profile.n_samples),
-        ("MRED", profile.mred),
-        ("NMED", profile.nmed),
-        ("mean |error|", profile.mean_abs_error),
-        ("max |error|", profile.max_abs_error),
-        ("% products inflated (paper: 96%)", 100.0 * profile.fraction_magnitude_inflated),
-        ("corr(|x*y|, |error|)", profile.error_magnitude_correlation),
-    ]
-    return profile, format_table(["quantity", "value"], rows)
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig03_axfpm_noise(benchmark):
-    profile, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig03_axfpm_noise", table)
-    assert profile.fraction_magnitude_inflated > 0.9
-    assert profile.error_magnitude_correlation > 0.3
-    assert 0.2 < profile.mred < 0.6
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig03_axfpm_noise"), rounds=1, iterations=1
+    )
+    report_result(result)
+    profile = result.metrics["profiles"]["Ax-FPM"]
+    assert profile["fraction_magnitude_inflated"] > 0.9
+    assert profile["error_magnitude_correlation"] > 0.3
+    assert 0.2 < profile["mred"] < 0.6

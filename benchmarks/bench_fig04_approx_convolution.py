@@ -7,44 +7,16 @@ gap grows with the similarity -- the feature-highlighting effect that drives
 the confidence enhancement of Figure 12.
 """
 
-import numpy as np
-
-from benchmarks.common import report
-from repro.arith import AxFPM
-from repro.core.results import format_table
-from repro.nn.approx import ApproxConv2d
-from repro.nn.layers import Conv2d
-
-
-def run_experiment():
-    rng = np.random.default_rng(0)
-    kernel = rng.uniform(0.2, 0.9, size=(1, 1, 4, 4)).astype(np.float32)
-
-    exact = Conv2d(1, 1, 4)
-    exact.weight.value = kernel
-    exact.bias.value = np.zeros(1, dtype=np.float32)
-    approx = ApproxConv2d.from_exact(exact, multiplier=AxFPM())
-
-    # six inputs, from least to most similar to the filter
-    similarities = np.linspace(0.0, 1.0, 6)
-    noise = rng.uniform(0.0, 1.0, size=(1, 1, 4, 4)).astype(np.float32)
-    rows = []
-    gaps = []
-    for i, alpha in enumerate(similarities, start=1):
-        image = (1 - alpha) * noise + alpha * (kernel / kernel.max())
-        exact_response = float(exact.forward(image.astype(np.float32))[0, 0, 0, 0])
-        approx_response = float(approx.forward(image.astype(np.float32))[0, 0, 0, 0])
-        gaps.append(approx_response - exact_response)
-        rows.append((f"image {i} (similarity {alpha:.1f})", exact_response, approx_response,
-                     approx_response - exact_response))
-    table = format_table(["input", "exact conv", "approx conv", "gap"], rows)
-    return np.array(gaps), table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig04_approximate_convolution(benchmark):
-    gaps, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig04_approx_convolution", table)
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig04_approx_convolution"), rounds=1, iterations=1
+    )
+    report_result(result)
+    gaps = result.metrics["gaps"]
     # the approximate convolution inflates responses...
-    assert np.all(gaps >= 0)
+    assert all(gap >= 0 for gap in gaps)
     # ...and the inflation grows with the input/filter similarity
     assert gaps[-1] > gaps[0]

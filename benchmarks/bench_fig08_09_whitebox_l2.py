@@ -7,50 +7,17 @@ budget: the paper reports an average L2 increase of 5.12 (DeepFool) and 1.23
 (C&W) when attacking DA.
 """
 
-from benchmarks.common import N_WHITEBOX_SAMPLES, classifier, digit_setup, report
-from repro.attacks import CarliniWagnerL2, DeepFool
-from repro.core.evaluation import evaluate_white_box
-from repro.core.results import format_table
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    victims = {"exact": classifier(exact_model), "approximate": classifier(approx_model)}
-    attacks = {
-        "DeepFool (Fig. 8)": lambda: DeepFool(max_iterations=30),
-        "C&W (Fig. 9)": lambda: CarliniWagnerL2(max_iterations=80),
-    }
-    rows = []
-    results = {}
-    for attack_name, make in attacks.items():
-        for victim_name, victim in victims.items():
-            evaluation = evaluate_white_box(
-                victim,
-                make(),
-                split.test.images,
-                split.test.labels,
-                max_samples=N_WHITEBOX_SAMPLES,
-                victim_name=victim_name,
-            )
-            results[(attack_name, victim_name)] = evaluation
-            rows.append(
-                (
-                    attack_name,
-                    victim_name,
-                    f"{100 * evaluation.success_rate:.0f}%",
-                    evaluation.mean_l2,
-                )
-            )
-    table = format_table(["Attack", "Victim", "Success", "Mean L2"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig08_09_whitebox_l2(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig08_09_whitebox_l2", table)
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig08_09_whitebox_l2"), rounds=1, iterations=1
+    )
+    report_result(result)
     for attack_name in ("DeepFool (Fig. 8)", "C&W (Fig. 9)"):
-        exact_eval = results[(attack_name, "exact")]
-        da_eval = results[(attack_name, "approximate")]
-        if exact_eval.success_rate > 0 and da_eval.success_rate > 0:
+        exact_cell = result.metrics["attacks"][attack_name]["exact"]
+        da_cell = result.metrics["attacks"][attack_name]["da"]
+        if exact_cell["success_rate"] > 0 and da_cell["success_rate"] > 0:
             # fooling the DA classifier never needs *less* noise than the exact one
-            assert da_eval.mean_l2 >= 0.7 * exact_eval.mean_l2
+            assert da_cell["mean_l2"] >= 0.7 * exact_cell["mean_l2"]

@@ -5,51 +5,18 @@ forces noisier adversarial examples (higher MSE, lower PSNR).  The paper
 reports a PSNR gap of about 4 dB (C&W) and 7.8 dB (DeepFool).
 """
 
-from benchmarks.common import N_WHITEBOX_SAMPLES, classifier, digit_setup, report
-from repro.attacks import CarliniWagnerL2, DeepFool
-from repro.core.evaluation import evaluate_white_box
-from repro.core.results import format_table
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    victims = {"exact": classifier(exact_model), "approximate": classifier(approx_model)}
-    attacks = {
-        "DeepFool (Fig. 10)": lambda: DeepFool(max_iterations=30),
-        "C&W (Fig. 11)": lambda: CarliniWagnerL2(max_iterations=80),
-    }
-    rows = []
-    results = {}
-    for attack_name, make in attacks.items():
-        for victim_name, victim in victims.items():
-            evaluation = evaluate_white_box(
-                victim,
-                make(),
-                split.test.images,
-                split.test.labels,
-                max_samples=N_WHITEBOX_SAMPLES,
-                victim_name=victim_name,
-            )
-            results[(attack_name, victim_name)] = evaluation
-            rows.append(
-                (
-                    attack_name,
-                    victim_name,
-                    evaluation.mean_mse,
-                    evaluation.mean_psnr,
-                )
-            )
-    table = format_table(["Attack", "Victim", "Mean MSE", "Mean PSNR (dB)"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig10_11_whitebox_psnr_mse(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig10_11_whitebox_psnr_mse", table)
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10_11_whitebox_psnr_mse"), rounds=1, iterations=1
+    )
+    report_result(result)
     for attack_name in ("DeepFool (Fig. 10)", "C&W (Fig. 11)"):
-        exact_eval = results[(attack_name, "exact")]
-        da_eval = results[(attack_name, "approximate")]
-        if exact_eval.success_rate > 0 and da_eval.success_rate > 0:
+        exact_cell = result.metrics["attacks"][attack_name]["exact"]
+        da_cell = result.metrics["attacks"][attack_name]["da"]
+        if exact_cell["success_rate"] > 0 and da_cell["success_rate"] > 0:
             # adversarial examples against DA are at least as degraded
-            assert da_eval.mean_mse >= 0.5 * exact_eval.mean_mse
-            assert da_eval.mean_psnr <= exact_eval.mean_psnr + 3.0
+            assert da_cell["mean_mse"] >= 0.5 * exact_cell["mean_mse"]
+            assert da_cell["mean_psnr"] <= exact_cell["mean_psnr"] + 3.0

@@ -7,35 +7,15 @@ exact classifier; the reproduction checks that DA's confidence distribution
 does not fall below the exact model's on the samples both classify correctly.
 """
 
-import numpy as np
-
-from benchmarks.common import balanced_test_samples, digit_setup, report
-from repro.core.confidence import compare_confidence
-from repro.core.results import format_table
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    images, labels = balanced_test_samples(split, per_class=10)
-    both_correct = np.flatnonzero(
-        (exact_model.predict(images) == labels) & (approx_model.predict(images) == labels)
-    )
-    comparison = compare_confidence(
-        exact_model, approx_model, images[both_correct], labels[both_correct]
-    )
-    exact_mean, approx_mean = comparison.mean_confidence()
-    rows = [("mean confidence", exact_mean, approx_mean)]
-    for threshold in (0.5, 0.8, 0.9, 0.95):
-        exact_frac, approx_frac = comparison.fraction_above(threshold)
-        rows.append((f"fraction above {threshold}", exact_frac, approx_frac))
-    table = format_table(["quantity", "exact classifier", "approximate classifier"], rows)
-    return comparison, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig12_confidence_cdf(benchmark):
-    comparison, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig12_confidence_cdf", table)
-    exact_mean, approx_mean = comparison.mean_confidence()
-    assert approx_mean >= exact_mean - 0.05
-    exact_high, approx_high = comparison.fraction_above(0.8)
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig12_confidence_cdf"), rounds=1, iterations=1
+    )
+    report_result(result)
+    metrics = result.metrics
+    assert metrics["approx_mean"] >= metrics["exact_mean"] - 0.05
+    exact_high, approx_high = metrics["fractions"]["0.8"]
     assert approx_high >= exact_high - 0.1

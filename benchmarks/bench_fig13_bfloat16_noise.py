@@ -5,28 +5,16 @@ mostly negative (truncation shrinks magnitudes) and input-independent -- which
 is why bfloat16 brings no robustness benefit.
 """
 
-from benchmarks.common import report
-from repro.arith import AxFPM, Bfloat16Multiplier, profile_multiplier
-from repro.core.results import format_table
-
-
-def run_experiment():
-    bf16 = profile_multiplier(Bfloat16Multiplier(), n_samples=200_000, operand_range=(0.0, 1.0))
-    ax = profile_multiplier(AxFPM(), n_samples=200_000, operand_range=(0.0, 1.0))
-    rows = [
-        ("Bfloat16 MRED", bf16.mred),
-        ("Bfloat16 mean error", bf16.mean_error),
-        ("Bfloat16 % positive errors", 100.0 * bf16.fraction_positive_error),
-        ("Bfloat16 max |error|", bf16.max_abs_error),
-        ("Ax-FPM MRED (for contrast)", ax.mred),
-        ("Ax-FPM max |error| (for contrast)", ax.max_abs_error),
-    ]
-    return bf16, ax, format_table(["quantity", "value"], rows)
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig13_bfloat16_noise(benchmark):
-    bf16, ax, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig13_bfloat16_noise", table)
-    assert bf16.mred < 0.02
-    assert bf16.fraction_positive_error < 0.1  # mostly negative noise
-    assert ax.max_abs_error > 10 * bf16.max_abs_error  # orders of magnitude apart
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig13_bfloat16_noise"), rounds=1, iterations=1
+    )
+    report_result(result)
+    bf16 = result.metrics["profiles"]["Bfloat16"]
+    ax = result.metrics["profiles"]["Ax-FPM"]
+    assert bf16["mred"] < 0.02
+    assert bf16["fraction_positive_error"] < 0.1  # mostly negative noise
+    assert ax["max_abs_error"] > 10 * bf16["max_abs_error"]  # orders of magnitude apart

@@ -4,25 +4,14 @@ The HEAP design is less aggressive: smaller error magnitude, weaker data
 dependence, and only a minority of products inflated.
 """
 
-from benchmarks.common import report
-from repro.arith import AxFPM, HEAPMultiplier, profile_multiplier
-from repro.core.results import format_table
-
-
-def run_experiment():
-    ax = profile_multiplier(AxFPM(), n_samples=150_000, operand_range=(0.0, 1.0))
-    heap = profile_multiplier(HEAPMultiplier(), n_samples=150_000, operand_range=(0.0, 1.0))
-    rows = [
-        ("Ax-FPM", ax.mred, ax.nmed, 100.0 * ax.fraction_magnitude_inflated, ax.max_abs_error),
-        ("HEAP", heap.mred, heap.nmed, 100.0 * heap.fraction_magnitude_inflated, heap.max_abs_error),
-    ]
-    table = format_table(["multiplier", "MRED", "NMED", "% inflated", "max |error|"], rows)
-    return ax, heap, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig15_heap_vs_axfpm_noise(benchmark):
-    ax, heap, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig15_heap_noise", table)
-    assert heap.mred < ax.mred
-    assert heap.fraction_magnitude_inflated < ax.fraction_magnitude_inflated
-    assert heap.max_abs_error < ax.max_abs_error
+    result = benchmark.pedantic(lambda: run_experiment("fig15_heap_noise"), rounds=1, iterations=1)
+    report_result(result)
+    ax = result.metrics["profiles"]["Ax-FPM"]
+    heap = result.metrics["profiles"]["HEAP"]
+    assert heap["mred"] < ax["mred"]
+    assert heap["fraction_magnitude_inflated"] < ax["fraction_magnitude_inflated"]
+    assert heap["max_abs_error"] < ax["max_abs_error"]

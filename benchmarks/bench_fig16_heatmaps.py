@@ -7,47 +7,17 @@ their scores.  The benchmark reproduces the summary statistics of those maps:
 mean and top-decile activation of the last convolution layer's output.
 """
 
-import numpy as np
-
-from benchmarks.common import digit_setup, report
-from repro.arith import AxFPM, HEAPMultiplier
-from repro.core.results import format_table
-from repro.nn.layers import Conv2d, MaxPool2d, ReLU
-from repro.nn.models import convert_to_approximate
-from repro.nn.network import Sequential
-
-
-def _last_conv_feature_map(model: Sequential, images: np.ndarray) -> np.ndarray:
-    """Run the model up to (and including) its last convolution + activation."""
-    last_conv_index = max(i for i, l in enumerate(model.layers) if isinstance(l, Conv2d))
-    out = images
-    for layer in model.layers[: last_conv_index + 2]:  # include the following ReLU
-        out = layer.forward(out)
-    return out
-
-
-def run_experiment():
-    exact_model, ax_model, split = digit_setup()
-    heap_model = convert_to_approximate(exact_model, multiplier=HEAPMultiplier())
-    images = split.test.images[:16]
-
-    rows = []
-    stats = {}
-    for name, model in (("Exact", exact_model), ("Ax-FPM", ax_model), ("HEAP", heap_model)):
-        fmap = _last_conv_feature_map(model, images)
-        active = fmap[fmap > 0]
-        mean_activation = float(active.mean()) if active.size else 0.0
-        top_decile = float(np.percentile(fmap, 90))
-        stats[name] = (mean_activation, top_decile)
-        rows.append((name, mean_activation, top_decile, float(fmap.max())))
-    table = format_table(["Multiplier", "Mean active response", "90th percentile", "Max"], rows)
-    return stats, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_fig16_heatmaps(benchmark):
-    stats, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("fig16_heatmaps", table)
+    result = benchmark.pedantic(lambda: run_experiment("fig16_heatmaps"), rounds=1, iterations=1)
+    report_result(result)
+    stats = result.metrics["stats"]
     # Ax-FPM highlights features: larger activations than the exact pipeline
-    assert stats["Ax-FPM"][1] >= stats["Exact"][1]
+    assert stats["da"]["p90"] >= stats["exact"]["p90"]
     # HEAP stays close to the exact map (its noise is mild)
-    assert abs(stats["HEAP"][1] - stats["Exact"][1]) <= abs(stats["Ax-FPM"][1] - stats["Exact"][1]) + 1e-6
+    assert (
+        abs(stats["heap"]["p90"] - stats["exact"]["p90"])
+        <= abs(stats["da"]["p90"] - stats["exact"]["p90"]) + 1e-6
+    )

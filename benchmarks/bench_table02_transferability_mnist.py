@@ -6,52 +6,16 @@ exact model by construction and 1-28 % on the DA model; the reproduction checks
 the same direction (DA success well below the exact model's 100 %).
 """
 
-from benchmarks.common import (
-    DIGIT_ATTACKS,
-    N_ATTACK_SAMPLES_DIGITS,
-    classifier,
-    digit_setup,
-    make_attack,
-    report,
-)
-from repro.core.evaluation import evaluate_transferability
-from repro.core.results import format_table
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    source = classifier(exact_model)
-    targets = {"exact": classifier(exact_model), "approximate": classifier(approx_model)}
-
-    rows = []
-    results = {}
-    for attack_name in DIGIT_ATTACKS:
-        attack = make_attack(DIGIT_ATTACKS, attack_name)
-        evaluation = evaluate_transferability(
-            source,
-            targets,
-            attack,
-            split.test.images,
-            split.test.labels,
-            max_samples=N_ATTACK_SAMPLES_DIGITS,
-        )
-        results[attack_name] = evaluation
-        rows.append(
-            (
-                attack_name,
-                f"{100 * evaluation.target_success_rates['exact']:.0f}%",
-                f"{100 * evaluation.target_success_rates['approximate']:.0f}%",
-            )
-        )
-    table = format_table(["Attack method", "Exact LeNet-5", "Approximate LeNet-5"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table02_transferability_digits(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table02_transferability_mnist", table)
+    result = benchmark.pedantic(
+        lambda: run_experiment("table02_transferability_mnist"), rounds=1, iterations=1
+    )
+    report_result(result)
+    attacks = result.metrics["attacks"]
     # examples that fool the source always fool the identical exact target
-    assert all(r.target_success_rates["exact"] == 1.0 for r in results.values())
+    assert all(cell["targets"]["exact"] == 1.0 for cell in attacks.values())
     # averaged over the attack suite, DA blocks a meaningful share of them
-    mean_da = sum(r.target_success_rates["approximate"] for r in results.values()) / len(results)
-    assert mean_da < 0.9
+    assert result.metrics["mean_target_success"]["da"] < 0.9

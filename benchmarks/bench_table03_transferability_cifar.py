@@ -4,50 +4,14 @@ Same protocol as Table 2 but on the 3-channel CIFAR-10 substitute and the
 compact AlexNet.  The paper reports 12-38 % transfer to the DA model.
 """
 
-from benchmarks.common import (
-    N_ATTACK_SAMPLES_OBJECTS,
-    OBJECT_ATTACKS,
-    classifier,
-    make_attack,
-    object_setup,
-    report,
-)
-from repro.core.evaluation import evaluate_transferability
-from repro.core.results import format_table
-
-
-def run_experiment():
-    exact_model, approx_model, split = object_setup()
-    source = classifier(exact_model)
-    targets = {"exact": classifier(exact_model), "approximate": classifier(approx_model)}
-
-    rows = []
-    results = {}
-    for attack_name in OBJECT_ATTACKS:
-        attack = make_attack(OBJECT_ATTACKS, attack_name)
-        evaluation = evaluate_transferability(
-            source,
-            targets,
-            attack,
-            split.test.images,
-            split.test.labels,
-            max_samples=N_ATTACK_SAMPLES_OBJECTS,
-        )
-        results[attack_name] = evaluation
-        rows.append(
-            (
-                attack_name,
-                f"{100 * evaluation.target_success_rates['exact']:.0f}%",
-                f"{100 * evaluation.target_success_rates['approximate']:.0f}%",
-            )
-        )
-    table = format_table(["Attack method", "Exact AlexNet", "Approximate AlexNet"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table03_transferability_objects(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table03_transferability_cifar", table)
-    assert all(r.target_success_rates["exact"] == 1.0 for r in results.values())
-    mean_da = sum(r.target_success_rates["approximate"] for r in results.values()) / len(results)
-    assert mean_da < 0.95
+    result = benchmark.pedantic(
+        lambda: run_experiment("table03_transferability_cifar"), rounds=1, iterations=1
+    )
+    report_result(result)
+    attacks = result.metrics["attacks"]
+    assert all(cell["targets"]["exact"] == 1.0 for cell in attacks.values())
+    assert result.metrics["mean_target_success"]["da"] < 0.95

@@ -6,61 +6,16 @@ exact LeNet and the Defensive Approximation LeNet (each reverse engineered from
 its own query responses).  The paper reports 0-27 % success against DA.
 """
 
-from benchmarks.common import (
-    DIGIT_ATTACKS,
-    N_ATTACK_SAMPLES_DIGITS,
-    classifier,
-    digit_setup,
-    digit_substitute,
-    make_attack,
-    report,
-)
-from repro.core.evaluation import evaluate_black_box
-from repro.core.results import format_table
-
-#: gradient/score attacks used for the black-box table (decision-based attacks
-#: query the victim directly and are covered by the white-box harness)
-BLACKBOX_ATTACKS = ("FGSM", "PGD", "JSMA", "C&W", "DF", "LSA")
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    victims = {
-        "exact": (classifier(exact_model), classifier(digit_substitute("exact"))),
-        "approximate": (classifier(approx_model), classifier(digit_substitute("da"))),
-    }
-
-    rows = []
-    results = {}
-    for attack_name in BLACKBOX_ATTACKS:
-        row = [attack_name]
-        for victim_name in ("exact", "approximate"):
-            victim, substitute = victims[victim_name]
-            attack = make_attack(DIGIT_ATTACKS, attack_name)
-            evaluation = evaluate_black_box(
-                victim,
-                substitute,
-                attack,
-                split.test.images,
-                split.test.labels,
-                max_samples=N_ATTACK_SAMPLES_DIGITS,
-            )
-            results[(attack_name, victim_name)] = evaluation
-            row.append(f"{100 * evaluation.victim_success_rate:.0f}%")
-        rows.append(tuple(row))
-    table = format_table(["Attack method", "Exact LeNet-5", "Approximate LeNet-5"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table04_blackbox_digits(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table04_blackbox_mnist", table)
-    exact_mean = sum(
-        r.victim_success_rate for (a, v), r in results.items() if v == "exact"
-    ) / len(BLACKBOX_ATTACKS)
-    da_mean = sum(
-        r.victim_success_rate for (a, v), r in results.items() if v == "approximate"
-    ) / len(BLACKBOX_ATTACKS)
+    result = benchmark.pedantic(
+        lambda: run_experiment("table04_blackbox_mnist"), rounds=1, iterations=1
+    )
+    report_result(result)
+    exact_mean = result.metrics["mean_victim_success"]["exact"]
+    da_mean = result.metrics["mean_victim_success"]["da"]
     # the DA victim resists black-box attacks at least as well as the exact one
     assert da_mean <= exact_mean + 0.1
     assert da_mean < 0.9

@@ -5,63 +5,15 @@ model and against 4-bit DoReFa-quantised models (full and weight-only).  The
 paper reports DA to be roughly twice as robust as DQ under FGSM, PGD and C&W.
 """
 
-from benchmarks.common import (
-    N_ATTACK_SAMPLES_OBJECTS,
-    OBJECT_ATTACKS,
-    classifier,
-    make_attack,
-    object_variants,
-    report,
-)
-from repro.core.evaluation import evaluate_transferability
-from repro.core.results import format_table
-
-TABLE5_ATTACKS = ("FGSM", "PGD", "C&W")
-
-
-def run_experiment():
-    variants, split = object_variants()
-    source = classifier(variants["exact"])
-    targets = {
-        "exact": classifier(variants["exact"]),
-        "da": classifier(variants["da"]),
-        "dq_full": classifier(variants["dq_full"]),
-        "dq_weight": classifier(variants["dq_weight"]),
-    }
-    rows = []
-    results = {}
-    for attack_name in TABLE5_ATTACKS:
-        attack = make_attack(OBJECT_ATTACKS, attack_name)
-        evaluation = evaluate_transferability(
-            source,
-            targets,
-            attack,
-            split.test.images,
-            split.test.labels,
-            max_samples=N_ATTACK_SAMPLES_OBJECTS,
-        )
-        results[attack_name] = evaluation
-        rows.append(
-            (
-                attack_name,
-                f"{100 * evaluation.target_success_rates['exact']:.0f}%",
-                f"{100 * evaluation.target_success_rates['da']:.0f}%",
-                f"{100 * evaluation.target_success_rates['dq_full']:.0f}%",
-                f"{100 * evaluation.target_success_rates['dq_weight']:.0f}%",
-            )
-        )
-    table = format_table(
-        ["Attack method", "Exact", "DA", "DQ: Full", "DQ: Weight-only"], rows
-    )
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table05_da_vs_dq(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table05_da_vs_dq", table)
-    da_mean = sum(r.target_success_rates["da"] for r in results.values()) / len(results)
-    assert da_mean < 0.95
+    result = benchmark.pedantic(lambda: run_experiment("table05_da_vs_dq"), rounds=1, iterations=1)
+    report_result(result)
+    attacks = result.metrics["attacks"]
+    assert result.metrics["mean_target_success"]["da"] < 0.95
     # note: DQ targets are *different trained models*, so cross-model transfer to
     # them is naturally low; the DA comparison of interest is against the exact
     # target which shares the same parameters.
-    assert all(r.target_success_rates["exact"] == 1.0 for r in results.values())
+    assert all(cell["targets"]["exact"] == 1.0 for cell in attacks.values())

@@ -7,51 +7,16 @@ DA drop is a few percent; the benchmark asserts the same qualitative claim:
 the defense does not collapse clean accuracy.
 """
 
-from benchmarks.common import classifier, digit_setup, object_variants, report
-from repro.core.results import format_table
-from repro.nn import evaluate_accuracy
-from repro.nn.models import convert_to_bfloat16
-
-
-def run_experiment():
-    # digit (LeNet) column
-    exact_digit, approx_digit, digit_split = digit_setup()
-    digit_x, digit_y = digit_split.test.images[:200], digit_split.test.labels[:200]
-    digit_acc = {
-        "Float32": evaluate_accuracy(exact_digit, digit_x, digit_y),
-        "Approximate (DA)": evaluate_accuracy(approx_digit, digit_x, digit_y),
-        "Bfloat16": evaluate_accuracy(convert_to_bfloat16(exact_digit), digit_x, digit_y),
-    }
-
-    # object (AlexNet + DQ) column
-    variants, object_split = object_variants()
-    object_x, object_y = object_split.test.images[:150], object_split.test.labels[:150]
-    object_acc = {
-        "Float32": evaluate_accuracy(variants["exact"], object_x, object_y),
-        "Approximate (DA)": evaluate_accuracy(variants["da"], object_x, object_y),
-        "Fully quantized": evaluate_accuracy(variants["dq_full"], object_x, object_y),
-        "Weight-only quantized": evaluate_accuracy(variants["dq_weight"], object_x, object_y),
-        "Bfloat16": evaluate_accuracy(convert_to_bfloat16(variants["exact"]), object_x, object_y),
-    }
-
-    rows = []
-    for name in ("Float32", "Approximate (DA)", "Fully quantized", "Weight-only quantized", "Bfloat16"):
-        rows.append(
-            (
-                name,
-                f"{100 * digit_acc[name]:.1f}%" if name in digit_acc else "-",
-                f"{100 * object_acc[name]:.1f}%",
-            )
-        )
-    table = format_table(["Used multiplier", "Digits (MNIST sub.)", "Objects (CIFAR-10 sub.)"], rows)
-    return digit_acc, object_acc, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table06_accuracy(benchmark):
-    digit_acc, object_acc, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table06_accuracy", table)
-    assert digit_acc["Float32"] > 0.9
-    assert digit_acc["Approximate (DA)"] > digit_acc["Float32"] - 0.15
-    assert abs(digit_acc["Bfloat16"] - digit_acc["Float32"]) < 0.02
-    assert object_acc["Approximate (DA)"] > object_acc["Float32"] - 0.2
-    assert abs(object_acc["Bfloat16"] - object_acc["Float32"]) < 0.02
+    result = benchmark.pedantic(lambda: run_experiment("table06_accuracy"), rounds=1, iterations=1)
+    report_result(result)
+    digit_acc = result.metrics["accuracy"]["digits"]
+    object_acc = result.metrics["accuracy"]["objects"]
+    assert digit_acc["exact"] > 0.9
+    assert digit_acc["da"] > digit_acc["exact"] - 0.15
+    assert abs(digit_acc["bfloat16"] - digit_acc["exact"]) < 0.02
+    assert object_acc["da"] > object_acc["exact"] - 0.2
+    assert abs(object_acc["bfloat16"] - object_acc["exact"]) < 0.02

@@ -5,24 +5,16 @@ relative to the exact multiplier).  Our analytical gate-count model reproduces
 the ranking and approximate magnitudes.
 """
 
-from benchmarks.common import report
-from repro.core.results import format_table
-from repro.hw import energy_delay_table
-
-
-def run_experiment():
-    rows = energy_delay_table()
-    table = format_table(["Multiplier", "Average energy", "Average delay"], rows)
-    return rows, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table07_energy_delay(benchmark):
-    rows, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table07_energy_delay", table)
-    by_name = {name: (energy, delay) for name, energy, delay in rows}
-    assert by_name["Exact multiplier"] == (1.0, 1.0)
-    ax_energy, ax_delay = by_name["Ax-FPM"]
-    assert 0.3 < ax_energy < 0.7  # paper: 0.487
-    assert 0.15 < ax_delay < 0.5  # paper: 0.29
-    bf_energy, bf_delay = by_name["Bfloat16"]
-    assert bf_energy < 1.0 and bf_delay < 1.0
+    result = benchmark.pedantic(
+        lambda: run_experiment("table07_energy_delay"), rounds=1, iterations=1
+    )
+    report_result(result)
+    by_name = result.metrics["by_name"]
+    assert by_name["Exact multiplier"] == {"energy": 1.0, "delay": 1.0}
+    assert 0.3 < by_name["Ax-FPM"]["energy"] < 0.7  # paper: 0.487
+    assert 0.15 < by_name["Ax-FPM"]["delay"] < 0.5  # paper: 0.29
+    assert by_name["Bfloat16"]["energy"] < 1.0 and by_name["Bfloat16"]["delay"] < 1.0

@@ -6,42 +6,18 @@ against an exact baseline of 97.93 % -- i.e. even the aggressive Ax-FPM barely
 dents clean accuracy.
 """
 
-from benchmarks.common import classifier, digit_setup, report
-from repro.arith import AxFPM, HEAPMultiplier, profile_multiplier
-from repro.core.results import format_table
-from repro.nn import evaluate_accuracy
-from repro.nn.models import convert_to_approximate
-
-
-def run_experiment():
-    exact_model, approx_model, split = digit_setup()
-    x, y = split.test.images[:200], split.test.labels[:200]
-
-    heap_model = convert_to_approximate(exact_model, multiplier=HEAPMultiplier())
-    ax_profile = profile_multiplier(AxFPM(), n_samples=100_000)
-    heap_profile = profile_multiplier(HEAPMultiplier(), n_samples=100_000)
-
-    accuracies = {
-        "Exact multiplier": evaluate_accuracy(exact_model, x, y),
-        "HEAP": evaluate_accuracy(heap_model, x, y),
-        "Ax-FPM": evaluate_accuracy(approx_model, x, y),
-    }
-    rows = [
-        ("Exact multiplier", f"{100 * accuracies['Exact multiplier']:.2f}%", 0.0, 0.0),
-        ("HEAP", f"{100 * accuracies['HEAP']:.2f}%", heap_profile.mred, heap_profile.nmed),
-        ("Ax-FPM", f"{100 * accuracies['Ax-FPM']:.2f}%", ax_profile.mred, ax_profile.nmed),
-    ]
-    table = format_table(["Multiplier", "CNN Accuracy", "MRED", "NMED"], rows)
-    return accuracies, ax_profile, heap_profile, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table08_multiplier_accuracy(benchmark):
-    accuracies, ax_profile, heap_profile, table = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_experiment("table08_multiplier_accuracy"), rounds=1, iterations=1
     )
-    report("table08_multiplier_accuracy", table)
+    report_result(result)
+    accuracies = result.metrics["accuracy"]
+    profiles = result.metrics["profiles"]
     # multiplier-level error ordering
-    assert heap_profile.mred < ax_profile.mred
+    assert profiles["HEAP"]["mred"] < profiles["Ax-FPM"]["mred"]
     # CNN-level accuracy ordering and tolerance: HEAP stays closest to exact,
     # Ax-FPM loses at most a modest amount despite its large MRED
     assert accuracies["Exact multiplier"] > 0.9

@@ -4,23 +4,17 @@ Paper values: HEAP 0.49 energy / 0.46 delay, Ax-FPM 0.395 / 0.235 relative to
 the exact array multiplier.
 """
 
-from benchmarks.common import report
-from repro.core.results import format_table
-from repro.hw import mantissa_energy_delay_table
-
-
-def run_experiment():
-    rows = mantissa_energy_delay_table()
-    table = format_table(["Multiplier", "Average energy", "Average delay"], rows)
-    return rows, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table09_mantissa_energy_delay(benchmark):
-    rows, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table09_mantissa_energy", table)
-    by_name = {name: (energy, delay) for name, energy, delay in rows}
-    ax_energy, ax_delay = by_name["Ax-FPM"]
-    heap_energy, heap_delay = by_name["HEAP"]
+    result = benchmark.pedantic(
+        lambda: run_experiment("table09_mantissa_energy"), rounds=1, iterations=1
+    )
+    report_result(result)
+    by_name = result.metrics["by_name"]
+    ax_energy, ax_delay = by_name["Ax-FPM"]["energy"], by_name["Ax-FPM"]["delay"]
+    heap_energy, heap_delay = by_name["HEAP"]["energy"], by_name["HEAP"]["delay"]
     assert ax_energy < heap_energy < 1.0
     assert ax_delay < heap_delay <= 1.0
     assert 0.25 < ax_energy < 0.55  # paper: 0.395

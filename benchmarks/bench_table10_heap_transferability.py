@@ -6,61 +6,16 @@ aggressive Ax-FPM.  The paper finds both reduce transfer, with Ax-FPM the
 stronger defense overall.
 """
 
-from benchmarks.common import (
-    DIGIT_ATTACKS,
-    N_ATTACK_SAMPLES_DIGITS,
-    classifier,
-    digit_setup,
-    make_attack,
-    report,
-)
-from repro.arith import HEAPMultiplier
-from repro.core.evaluation import evaluate_transferability
-from repro.core.results import format_table
-from repro.nn.models import convert_to_approximate
-
-TABLE10_ATTACKS = ("FGSM", "PGD", "JSMA", "C&W", "DF", "LSA")
-
-
-def run_experiment():
-    exact_model, ax_model, split = digit_setup()
-    heap_model = convert_to_approximate(exact_model, multiplier=HEAPMultiplier())
-    source = classifier(exact_model)
-    targets = {
-        "exact": classifier(exact_model),
-        "heap": classifier(heap_model),
-        "axfpm": classifier(ax_model),
-    }
-    rows = []
-    results = {}
-    for attack_name in TABLE10_ATTACKS:
-        attack = make_attack(DIGIT_ATTACKS, attack_name)
-        evaluation = evaluate_transferability(
-            source,
-            targets,
-            attack,
-            split.test.images,
-            split.test.labels,
-            max_samples=N_ATTACK_SAMPLES_DIGITS,
-        )
-        results[attack_name] = evaluation
-        rows.append(
-            (
-                attack_name,
-                f"{100 * evaluation.target_success_rates['exact']:.0f}%",
-                f"{100 * evaluation.target_success_rates['heap']:.0f}%",
-                f"{100 * evaluation.target_success_rates['axfpm']:.0f}%",
-            )
-        )
-    table = format_table(["Attack", "Exact-based", "HEAP-based", "Ax-FPM-based"], rows)
-    return results, table
+from benchmarks.common import report_result, run_experiment
 
 
 def test_table10_heap_vs_axfpm_transferability(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report("table10_heap_transferability", table)
-    mean_heap = sum(r.target_success_rates["heap"] for r in results.values()) / len(results)
-    mean_ax = sum(r.target_success_rates["axfpm"] for r in results.values()) / len(results)
+    result = benchmark.pedantic(
+        lambda: run_experiment("table10_heap_transferability"), rounds=1, iterations=1
+    )
+    report_result(result)
+    mean_heap = result.metrics["mean_target_success"]["heap"]
+    mean_ax = result.metrics["mean_target_success"]["da"]
     # both approximate designs blunt transfer relative to the exact target (100 %),
     # and the aggressive Ax-FPM is at least as strong a defense as HEAP
     assert mean_ax < 1.0

@@ -1,69 +1,35 @@
 """Shared infrastructure for the benchmark harnesses.
 
-Every benchmark regenerates one table or figure of the paper (see DESIGN.md
-for the experiment index).  Models are pulled from the disk-cached zoo in
-:mod:`repro.experiments.zoo`, so the first benchmark run trains them once and
-later runs are fast.  Each harness prints the paper-style rows and also writes
-them to ``benchmarks/results/<experiment>.txt``.
+Every benchmark regenerates one table or figure of the paper by executing the
+corresponding declarative spec from :mod:`repro.pipeline.catalog` through the
+:class:`~repro.pipeline.runner.Runner`.  Models come from the disk-cached zoo
+(so the first run trains them once) and grid cells are cached as JSON
+artifacts (so re-runs are fast; set ``REPRO_PIPELINE_NO_CACHE=1`` to force
+recomputation after behavioural changes).  Each harness persists the
+paper-style text table and a machine-readable JSON result under
+``benchmarks/results/`` -- the same schema ``python -m repro run`` writes --
+so the performance / robustness trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from pathlib import Path
-from typing import Dict
 
-import numpy as np
-
-from repro.attacks import create_attack
-from repro.attacks.base import Classifier
-from repro.core.substitute import train_substitute
-from repro.experiments import CACHE_DIR, alexnet_objects, dq_models_objects, lenet_digits
-from repro.nn.models import build_lenet5, convert_to_approximate, convert_to_bfloat16
-from repro.nn.network import Sequential
+from repro.pipeline import ExperimentResult, Runner
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-#: how many correctly-classified test samples each attack gets to work with.
-#: The paper uses larger pools; this keeps a full benchmark run in minutes on a
-#: laptop while leaving the result *shapes* intact.
-N_ATTACK_SAMPLES_DIGITS = 20
-N_ATTACK_SAMPLES_OBJECTS = 10
-N_WHITEBOX_SAMPLES = 6
-
-#: attack parameterisation for the digit (LeNet) experiments
-DIGIT_ATTACKS = {
-    "FGSM": ("fgsm", {"epsilon": 0.1}),
-    "PGD": ("pgd", {"epsilon": 0.1, "steps": 15}),
-    "JSMA": ("jsma", {"theta": 0.8, "gamma": 0.08}),
-    "C&W": ("cw", {"max_iterations": 80}),
-    "DF": ("deepfool", {"max_iterations": 30}),
-    "LSA": ("lsa", {"max_rounds": 12}),
-    "BA": ("boundary", {"max_iterations": 80, "init_trials": 30}),
-    "HSJ": ("hsj", {"max_iterations": 5, "num_eval_samples": 16}),
-}
-
-#: attack parameterisation for the object (AlexNet) experiments
-OBJECT_ATTACKS = {
-    "FGSM": ("fgsm", {"epsilon": 0.05}),
-    "PGD": ("pgd", {"epsilon": 0.05, "steps": 12}),
-    "JSMA": ("jsma", {"theta": 0.6, "gamma": 0.03}),
-    "C&W": ("cw", {"max_iterations": 60}),
-    "DF": ("deepfool", {"max_iterations": 25}),
-    "LSA": ("lsa", {"max_rounds": 10}),
-    "BA": ("boundary", {"max_iterations": 60, "init_trials": 30}),
-    "HSJ": ("hsj", {"max_iterations": 4, "num_eval_samples": 12}),
-}
+#: one shared runner per pytest session; trained models are memoised in-process
+RUNNER = Runner()
 
 
-def make_attack(table: Dict[str, tuple], name: str):
-    """Instantiate one of the table's attacks."""
-    registry_name, params = table[name]
-    return create_attack(registry_name, **params)
+def run_experiment(name: str) -> ExperimentResult:
+    """Execute one catalog experiment through the pipeline."""
+    return RUNNER.run(name)
 
 
 def report(experiment: str, text: str) -> str:
-    """Print a result block and persist it under ``benchmarks/results``."""
+    """Print a result block and persist its text table under ``benchmarks/results``."""
     banner = f"\n===== {experiment} =====\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -71,78 +37,8 @@ def report(experiment: str, text: str) -> str:
     return banner
 
 
-# --------------------------------------------------------------- model cache
-@lru_cache(maxsize=None)
-def digit_setup():
-    """Exact + DA LeNet on the digit dataset, with its test split."""
-    model, split = lenet_digits()
-    approx = convert_to_approximate(model)
-    return model, approx, split
-
-
-@lru_cache(maxsize=None)
-def object_setup():
-    """Exact + DA AlexNet on the object dataset, with its test split."""
-    model, split = alexnet_objects()
-    approx = convert_to_approximate(model)
-    return model, approx, split
-
-
-@lru_cache(maxsize=None)
-def object_variants():
-    """All hardware/precision variants of the AlexNet object classifier."""
-    model, approx, split = object_setup()
-    dq, _ = dq_models_objects()
-    return {
-        "exact": model,
-        "da": approx,
-        "bfloat16": convert_to_bfloat16(model),
-        "dq_full": dq["full"],
-        "dq_weight": dq["weight"],
-    }, split
-
-
-@lru_cache(maxsize=None)
-def digit_substitute(victim: str = "da") -> Sequential:
-    """Black-box substitute model trained from the victim's query labels.
-
-    The substitute's parameters are cached on disk next to the zoo models.
-    """
-    exact_model, approx_model, split = digit_setup()
-    victim_model = approx_model if victim == "da" else exact_model
-    cache_path = CACHE_DIR / f"substitute_{victim}_digits.npz"
-
-    def build() -> Sequential:
-        return build_lenet5(
-            split.train.input_shape, conv_channels=(8, 16), fc_sizes=(64, 48), dropout=0.2, seed=11
-        )
-
-    substitute = build()
-    if cache_path.exists():
-        try:
-            substitute.load(str(cache_path))
-            return substitute
-        except (KeyError, ValueError):
-            cache_path.unlink()
-    substitute = train_substitute(
-        victim_model.predict,
-        split.train.images[:1000],
-        build_model=build,
-        epochs=20,
-        augmentation_rounds=1,
-        seed=11,
-    )
-    CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    substitute.save(str(cache_path))
-    return substitute
-
-
-def classifier(model) -> Classifier:
-    """Attack facade with the standard [0, 1] pixel range."""
-    return Classifier(model)
-
-
-def balanced_test_samples(split, per_class: int, seed: int = 0):
-    """A class-balanced selection from the test split."""
-    subset = split.test.sample_per_class(per_class, rng=np.random.default_rng(seed))
-    return subset.images, subset.labels
+def report_result(result: ExperimentResult) -> str:
+    """Print a pipeline result and persist ``<name>.txt`` + ``<name>.json``."""
+    banner = report(result.name, result.table)
+    result.write(RESULTS_DIR)  # overwrites the .txt with identical content + adds .json
+    return banner

@@ -18,4 +18,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

@@ -29,11 +29,17 @@ The exact truth table of a full adder, for reference::
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.registry import registry
+
 Bits = np.ndarray
+
+#: unified registry of full-adder cells (namespace ``"adder-cell"``).  Cells
+#: are stateless, so each entry's factory returns a shared singleton instance.
+ADDER_CELLS = registry("adder-cell")
 
 
 class AdderCell(ABC):
@@ -174,20 +180,23 @@ class AMA5(AdderCell):
         return b.copy(), a.copy()
 
 
-_CELLS: Dict[str, AdderCell] = {
-    cell.name: cell
-    for cell in (ExactFullAdder(), AMA1(), AMA2(), AMA3(), AMA4(), AMA5())
-}
+for _cell in (ExactFullAdder(), AMA1(), AMA2(), AMA3(), AMA4(), AMA5()):
+    ADDER_CELLS.register(
+        _cell.name,
+        (lambda cell: lambda: cell)(_cell),
+        metadata={
+            "transistor_count": _cell.transistor_count,
+            "relative_delay": _cell.relative_delay,
+        },
+    )
+del _cell
 
 
 def list_cells() -> List[str]:
     """Names of all registered adder cells."""
-    return sorted(_CELLS)
+    return sorted(ADDER_CELLS.names())
 
 
 def get_cell(name: str) -> AdderCell:
-    """Look up an adder cell by name (``exact``, ``ama1`` .. ``ama5``)."""
-    try:
-        return _CELLS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown adder cell {name!r}; available: {list_cells()}") from exc
+    """Look up an adder cell by name (shim over the ``"adder-cell"`` registry)."""
+    return ADDER_CELLS.create(name)

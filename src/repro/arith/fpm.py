@@ -27,7 +27,7 @@ minutes.  ``frac_bits=23`` recovers the paper's full-width datapath (no LUT).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Type
+from typing import Optional
 
 import numpy as np
 
@@ -39,6 +39,10 @@ from repro.arith.array_multiplier import (
     UniformCellPolicy,
 )
 from repro.arith.float_format import bfloat16_truncate, compose_float32, decompose_float32
+from repro.registry import registry
+
+#: unified registry of multiplier hardware models (namespace ``"multiplier"``)
+MULTIPLIERS = registry("multiplier")
 
 #: widest fraction for which an exhaustive mantissa LUT is built automatically
 LUT_MAX_FRAC_BITS = 10
@@ -61,6 +65,7 @@ class Multiplier(ABC):
         return f"{type(self).__name__}()"
 
 
+@MULTIPLIERS.register("exact", metadata={"summary": "IEEE-754 float32 reference"})
 class ExactMultiplier(Multiplier):
     """Reference IEEE-754 single precision multiplier (what PyTorch would do)."""
 
@@ -72,6 +77,7 @@ class ExactMultiplier(Multiplier):
         )
 
 
+@MULTIPLIERS.register("bfloat16", metadata={"summary": "bfloat16-truncated operands"})
 class Bfloat16Multiplier(Multiplier):
     """Multiplier operating on bfloat16-truncated operands (Section 7.2).
 
@@ -176,6 +182,7 @@ class ApproxFPM(Multiplier):
         )
 
 
+@MULTIPLIERS.register("axfpm", metadata={"summary": "AMA5 mantissa array (the paper's Ax-FPM)"})
 class AxFPM(ApproxFPM):
     """The paper's approximate floating point multiplier.
 
@@ -194,6 +201,7 @@ class AxFPM(ApproxFPM):
         )
 
 
+@MULTIPLIERS.register("heap", metadata={"summary": "heterogeneous AMA3/exact mantissa array"})
 class HEAPMultiplier(ApproxFPM):
     """HEAP-style heterogeneous approximate floating point multiplier.
 
@@ -224,20 +232,11 @@ class HEAPMultiplier(ApproxFPM):
         self.approx_fraction = approx_fraction
 
 
-_MULTIPLIERS: Dict[str, Type[Multiplier]] = {
-    "exact": ExactMultiplier,
-    "axfpm": AxFPM,
-    "heap": HEAPMultiplier,
-    "bfloat16": Bfloat16Multiplier,
-}
+def list_multipliers() -> list:
+    """Names of all registered multipliers."""
+    return MULTIPLIERS.names()
 
 
 def get_multiplier(name: str, **kwargs) -> Multiplier:
-    """Instantiate a multiplier by name (``exact``, ``axfpm``, ``heap``, ``bfloat16``)."""
-    try:
-        cls = _MULTIPLIERS[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown multiplier {name!r}; available: {sorted(_MULTIPLIERS)}"
-        ) from exc
-    return cls(**kwargs)
+    """Instantiate a multiplier by name (shim over the ``"multiplier"`` registry)."""
+    return MULTIPLIERS.create(name, **kwargs)

@@ -92,9 +92,14 @@ class Classifier:
             self.model.set_training(was_training)
 
     def class_gradient(self, x: np.ndarray, class_index: np.ndarray) -> np.ndarray:
-        """Gradient of the selected class logit w.r.t. the input, per sample."""
-        logits = self.model.predict_logits(x)
-        grad = np.zeros_like(logits)
+        """Gradient of the selected class logit w.r.t. the input, per sample.
+
+        Counts as one gradient evaluation (inside :meth:`logits_gradient`) and
+        zero prediction queries: the logit cotangent is built from
+        :attr:`num_classes` instead of an uncounted forward pass, keeping the
+        black-box budget bookkeeping exact.
+        """
+        grad = np.zeros((len(x), self.num_classes), dtype=np.float32)
         grad[np.arange(len(x)), np.asarray(class_index, dtype=np.int64)] = 1.0
         return self.logits_gradient(x, grad)
 

@@ -2,8 +2,10 @@
 
 Each entry records the attack's category (gradient / score / decision based),
 the norm it minimises, whether it is one-shot or iterative, and the strength
-rating the paper quotes from Akhtar & Mian (2018).  The registry is what the
-threat-model harnesses in :mod:`repro.core.evaluation` iterate over.
+rating the paper quotes from Akhtar & Mian (2018).  The entries live in the
+unified ``"attack"`` registry (:mod:`repro.registry`); ``ATTACK_SPECS``,
+:func:`create_attack` and :func:`list_attacks` are kept as the historical
+entry points over it.
 """
 
 from __future__ import annotations
@@ -20,6 +22,10 @@ from repro.attacks.hopskipjump import HopSkipJump
 from repro.attacks.jsma import JSMA
 from repro.attacks.lsa import LocalSearchAttack
 from repro.attacks.pgd import PGD
+from repro.registry import registry
+
+#: unified registry of evasion attacks (namespace ``"attack"``)
+ATTACKS = registry("attack")
 
 
 @dataclass
@@ -41,27 +47,76 @@ class AttackSpec:
         return self.attack_class(**params)
 
 
-ATTACK_SPECS: Dict[str, AttackSpec] = {
-    "fgsm": AttackSpec("fgsm", FGSM, "gradient-based", "Linf", "one-shot", 3),
-    "pgd": AttackSpec("pgd", PGD, "gradient-based", "Linf", "iterative", 4),
-    "jsma": AttackSpec("jsma", JSMA, "gradient-based", "L0", "iterative", 3),
-    "cw": AttackSpec("cw", CarliniWagnerL2, "gradient-based", "L2", "iterative", 5),
-    "deepfool": AttackSpec("deepfool", DeepFool, "gradient-based", "L2", "iterative", 4),
-    "lsa": AttackSpec("lsa", LocalSearchAttack, "score-based", "L2", "iterative", 3),
-    "boundary": AttackSpec("boundary", BoundaryAttack, "decision-based", "L2", "iterative", 3),
-    "hsj": AttackSpec("hsj", HopSkipJump, "decision-based", "L2", "iterative", 5),
-}
+class _AttackSpecView(Dict[str, AttackSpec]):
+    """Legacy dict view over the attack registry.
+
+    :func:`register_attack` populates the dict storage itself, so every
+    inherited dict method works; iteration and membership delegate to the
+    registry so entries registered or removed directly on :data:`ATTACKS`
+    are still observed.  Attacks registered directly on :data:`ATTACKS`
+    without an :class:`AttackSpec` are usable through the registry API but
+    have no spec to expose here -- register through :func:`register_attack`
+    for full legacy-dict visibility.
+    """
+
+    def __missing__(self, name: str) -> AttackSpec:
+        spec = ATTACKS.metadata(name).get("spec")
+        if spec is None:
+            raise KeyError(name)
+        return spec
+
+    def __iter__(self):
+        return iter(ATTACKS.names())
+
+    def __len__(self) -> int:
+        return len(ATTACKS)
+
+    def __contains__(self, name: object) -> bool:
+        return name in ATTACKS
+
+
+ATTACK_SPECS: Dict[str, AttackSpec] = _AttackSpecView()
+
+
+def register_attack(spec: AttackSpec) -> AttackSpec:
+    """Add an attack to the unified registry, keyed by its spec name."""
+    ATTACKS.register(
+        spec.name,
+        spec.create,
+        metadata={
+            "spec": spec,
+            "category": spec.category,
+            "norm": spec.norm,
+            "learning": spec.learning,
+            "strength": spec.strength,
+        },
+    )
+    # keep the legacy view's own storage in sync so inherited dict methods
+    # (.copy(), ==, .items() ...) see the same entries as the registry
+    dict.__setitem__(ATTACK_SPECS, spec.name, spec)
+    return spec
+
+
+# registration order follows the paper's Table 1
+for _spec in (
+    AttackSpec("fgsm", FGSM, "gradient-based", "Linf", "one-shot", 3),
+    AttackSpec("pgd", PGD, "gradient-based", "Linf", "iterative", 4),
+    AttackSpec("jsma", JSMA, "gradient-based", "L0", "iterative", 3),
+    AttackSpec("cw", CarliniWagnerL2, "gradient-based", "L2", "iterative", 5),
+    AttackSpec("deepfool", DeepFool, "gradient-based", "L2", "iterative", 4),
+    AttackSpec("lsa", LocalSearchAttack, "score-based", "L2", "iterative", 3),
+    AttackSpec("boundary", BoundaryAttack, "decision-based", "L2", "iterative", 3),
+    AttackSpec("hsj", HopSkipJump, "decision-based", "L2", "iterative", 5),
+):
+    register_attack(_spec)
+del _spec
 
 
 def list_attacks() -> List[str]:
     """Names of all registered attacks, in the paper's Table 1 order."""
-    return list(ATTACK_SPECS)
+    return ATTACKS.names()
 
 
 def create_attack(name: str, **overrides) -> Attack:
-    """Instantiate an attack by name with optional parameter overrides."""
-    try:
-        spec = ATTACK_SPECS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown attack {name!r}; available: {list_attacks()}") from exc
-    return spec.create(**overrides)
+    """Instantiate an attack by name (shim over the ``"attack"`` registry)."""
+    return ATTACKS.create(name, **overrides)

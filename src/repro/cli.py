@@ -1,0 +1,123 @@
+"""``python -m repro`` -- command line front end of the experiment pipeline.
+
+Commands
+--------
+
+``list``
+    Enumerate the experiment catalog (every paper table / figure).
+``info <experiment>``
+    Show one experiment's resolved declarative spec as JSON.
+``run <experiment> [...] [--fast]``
+    Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
+    printing the paper-style table and writing ``results/<name>.txt`` and
+    ``results/<name>.json``.  ``run all`` executes the whole catalog.
+    ``--fast`` switches to the smoke-test profile (small zoo models, few
+    attack samples, scaled-down attack iterations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.pipeline import EXPERIMENTS, Runner, get_experiment, list_experiments
+from repro.registry import RegistryError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Defensive Approximation (ASPLOS 2021) experiment pipeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="enumerate the experiment catalog")
+
+    info = sub.add_parser("info", help="show one experiment's declarative spec")
+    info.add_argument("experiment", help="catalog name (see `list`)")
+
+    run = sub.add_parser("run", help="execute experiments and write results/")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="catalog names (see `list`), or `all` for the whole catalog",
+    )
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test profile: small zoo models and attack budgets",
+    )
+    run.add_argument(
+        "--results-dir",
+        default="results",
+        help="where <name>.txt / <name>.json are written (default: results/)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every grid cell, ignoring cached artifacts",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines (tables still print)"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    names = list_experiments()
+    width = max(len(name) for name in names)
+    for name in names:
+        meta = EXPERIMENTS.metadata(name)
+        print(f"{name.ljust(width)}  [{meta['kind']}]  {meta['title']}")
+    return 0
+
+
+def _cmd_info(name: str) -> int:
+    spec = get_experiment(name)
+    print(json.dumps(spec.to_dict(), indent=2, default=str))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list_experiments() if "all" in args.experiments else list(args.experiments)
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    runner = Runner(
+        fast=args.fast,
+        results_dir=args.results_dir,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    for name in names:
+        result = runner.run(name)
+        print(f"\n===== {result.name} =====")
+        if result.title:
+            print(f"# {result.title}")
+        print(result.table)
+        print(
+            f"# wrote {args.results_dir}/{result.name}.txt and .json "
+            f"({result.elapsed_seconds:.1f}s, cells: {result.cache_hits} cached / "
+            f"{result.cache_misses} computed)"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "info":
+            return _cmd_info(args.experiment)
+        if args.command == "run":
+            return _cmd_run(args)
+    except RegistryError as exc:
+        # unknown experiment/component: a clean one-line error, not a traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -18,8 +18,21 @@ exercise the same code paths end to end (see DESIGN.md, "Substitutions").
 from repro.datasets.digits import generate_digits, render_digit
 from repro.datasets.loader import Dataset, DataSplit, train_test_split
 from repro.datasets.objects import OBJECT_CLASS_NAMES, generate_objects, render_object
+from repro.registry import registry
+
+#: unified registry of dataset generators (namespace ``"dataset"``)
+DATASETS = registry("dataset")
+DATASETS.register(
+    "digits", generate_digits, metadata={"summary": "grayscale digit glyphs (MNIST substitute)"}
+)
+DATASETS.register(
+    "objects",
+    generate_objects,
+    metadata={"summary": "3-channel shape/texture images (CIFAR-10 substitute)"},
+)
 
 __all__ = [
+    "DATASETS",
     "Dataset",
     "DataSplit",
     "train_test_split",

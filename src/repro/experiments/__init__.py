@@ -9,18 +9,22 @@ training happens at most once per machine.
 
 from repro.experiments.zoo import (
     CACHE_DIR,
+    ZOO,
     alexnet_objects,
     dq_models_objects,
     lenet_digits,
     load_digits_split,
     load_objects_split,
+    substitute_digits,
 )
 
 __all__ = [
     "CACHE_DIR",
+    "ZOO",
     "load_digits_split",
     "load_objects_split",
     "lenet_digits",
     "alexnet_objects",
     "dq_models_objects",
+    "substitute_digits",
 ]

@@ -8,7 +8,13 @@ variable), and every benchmark / example reuses them.
 
 The configurations here are the calibrated "paper models" of this
 reproduction: they reach high clean accuracy and, once converted to DA, lose
-only a small amount of it (see EXPERIMENTS.md).
+only a small amount of it (see EXPERIMENTS.md).  Each entry also has a *fast*
+profile (``fast=True``) -- a smaller dataset and shorter training schedule,
+cached separately -- used by ``python -m repro run <experiment> --fast`` and
+the CI smoke test.
+
+All entries are registered in the unified ``"zoo"`` registry so the experiment
+pipeline can resolve them by name.
 """
 
 from __future__ import annotations
@@ -22,24 +28,32 @@ import numpy as np
 from repro.datasets import DataSplit, generate_digits, generate_objects, train_test_split
 from repro.nn import SGD, Adam, build_alexnet, build_dq_cnn, build_lenet5, train_classifier
 from repro.nn.network import Sequential
+from repro.registry import registry
+
+#: unified registry of trained-model providers (namespace ``"zoo"``)
+ZOO = registry("zoo")
 
 #: default location of the trained-parameter cache
 CACHE_DIR = Path(os.environ.get("REPRO_DA_CACHE", Path.home() / ".cache" / "repro-da"))
 
 #: digit dataset configuration (MNIST substitute)
 DIGITS_CONFIG = {"n_samples": 6000, "size": 16, "seed": 1}
+DIGITS_CONFIG_FAST = {"n_samples": 2000, "size": 16, "seed": 1}
 #: object dataset configuration (CIFAR-10 substitute)
 OBJECTS_CONFIG = {"n_samples": 3000, "size": 32, "seed": 2}
+OBJECTS_CONFIG_FAST = {"n_samples": 1200, "size": 32, "seed": 2}
 
 
-def load_digits_split(test_fraction: float = 0.15) -> DataSplit:
+def load_digits_split(test_fraction: float = 0.15, fast: bool = False) -> DataSplit:
     """The digit dataset split used by all digit experiments."""
-    return train_test_split(generate_digits(**DIGITS_CONFIG), test_fraction)
+    config = DIGITS_CONFIG_FAST if fast else DIGITS_CONFIG
+    return train_test_split(generate_digits(**config), test_fraction)
 
 
-def load_objects_split(test_fraction: float = 0.2) -> DataSplit:
+def load_objects_split(test_fraction: float = 0.2, fast: bool = False) -> DataSplit:
     """The object dataset split used by all object experiments."""
-    return train_test_split(generate_objects(**OBJECTS_CONFIG), test_fraction)
+    config = OBJECTS_CONFIG_FAST if fast else OBJECTS_CONFIG
+    return train_test_split(generate_objects(**config), test_fraction)
 
 
 def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -> Sequential:
@@ -59,9 +73,14 @@ def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -
     return model
 
 
-def lenet_digits() -> Tuple[Sequential, DataSplit]:
+def _suffix(fast: bool) -> str:
+    return "_fast" if fast else ""
+
+
+@ZOO.register("lenet_digits", metadata={"summary": "exact LeNet-5 on the digit dataset"})
+def lenet_digits(fast: bool = False) -> Tuple[Sequential, DataSplit]:
     """Exact LeNet-5 trained on the synthetic digits (the paper's MNIST model)."""
-    split = load_digits_split()
+    split = load_digits_split(fast=fast)
 
     def build() -> Sequential:
         return build_lenet5(
@@ -74,43 +93,49 @@ def lenet_digits() -> Tuple[Sequential, DataSplit]:
 
     def train(model: Sequential) -> None:
         optimizer = Adam(model.parameters(), lr=0.002)
+        epochs = 8 if fast else 25
         train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=25, batch_size=64
+            model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
         )
-        optimizer.lr = 0.0005
-        train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=10, batch_size=64
-        )
+        if not fast:
+            optimizer.lr = 0.0005
+            train_classifier(
+                model, optimizer, split.train.images, split.train.labels, epochs=10, batch_size=64
+            )
 
-    return _cached_model("lenet_digits", build, train), split
+    return _cached_model(f"lenet_digits{_suffix(fast)}", build, train), split
 
 
-def alexnet_objects() -> Tuple[Sequential, DataSplit]:
+@ZOO.register("alexnet_objects", metadata={"summary": "exact AlexNet on the object dataset"})
+def alexnet_objects(fast: bool = False) -> Tuple[Sequential, DataSplit]:
     """Exact AlexNet trained on the synthetic objects (the paper's CIFAR-10 model)."""
-    split = load_objects_split()
+    split = load_objects_split(fast=fast)
 
     def build() -> Sequential:
         return build_alexnet(split.train.input_shape, dropout=0.25, seed=0)
 
     def train(model: Sequential) -> None:
         optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9, weight_decay=1e-4)
+        epochs = 6 if fast else 20
         train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=20, batch_size=64
+            model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
         )
-        optimizer.lr = 0.005
-        train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=8, batch_size=64
-        )
+        if not fast:
+            optimizer.lr = 0.005
+            train_classifier(
+                model, optimizer, split.train.images, split.train.labels, epochs=8, batch_size=64
+            )
 
-    return _cached_model("alexnet_objects", build, train), split
+    return _cached_model(f"alexnet_objects{_suffix(fast)}", build, train), split
 
 
-def dq_models_objects(bits: int = 4) -> Tuple[Dict[str, Sequential], DataSplit]:
+@ZOO.register("dq_objects", metadata={"summary": "Defensive Quantization models on the objects"})
+def dq_models_objects(bits: int = 4, fast: bool = False) -> Tuple[Dict[str, Sequential], DataSplit]:
     """Defensive Quantization models (full and weight-only) trained on the objects.
 
     Returns a dict with keys ``"full"`` and ``"weight"``.
     """
-    split = load_objects_split()
+    split = load_objects_split(fast=fast)
     models: Dict[str, Sequential] = {}
     for mode in ("full", "weight"):
 
@@ -119,9 +144,56 @@ def dq_models_objects(bits: int = 4) -> Tuple[Dict[str, Sequential], DataSplit]:
 
         def train(model: Sequential) -> None:
             optimizer = Adam(model.parameters(), lr=0.002)
+            epochs = 5 if fast else 18
             train_classifier(
-                model, optimizer, split.train.images, split.train.labels, epochs=18, batch_size=64
+                model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
             )
 
-        models[mode] = _cached_model(f"dq_{mode}_objects_{bits}b", build, train)
+        models[mode] = _cached_model(f"dq_{mode}_objects_{bits}b{_suffix(fast)}", build, train)
     return models, split
+
+
+@ZOO.register(
+    "substitute_digits",
+    metadata={"summary": "black-box substitute trained from a digit victim's queries"},
+)
+def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
+    """Black-box substitute model trained from the victim's query labels.
+
+    ``victim`` selects the model whose query responses train the substitute:
+    ``"exact"`` for the exact LeNet, ``"da"`` for its Defensive Approximation
+    conversion.  The substitute's parameters are cached on disk next to the
+    zoo models.
+    """
+    from repro.nn.models import convert_to_approximate
+
+    exact_model, split = lenet_digits(fast=fast)
+    victim_model = convert_to_approximate(exact_model) if victim == "da" else exact_model
+    cache_path = CACHE_DIR / f"substitute_{victim}_digits{_suffix(fast)}.npz"
+
+    def build() -> Sequential:
+        return build_lenet5(
+            split.train.input_shape, conv_channels=(8, 16), fc_sizes=(64, 48), dropout=0.2, seed=11
+        )
+
+    substitute = build()
+    if cache_path.exists():
+        try:
+            substitute.load(str(cache_path))
+            return substitute
+        except (KeyError, ValueError):
+            cache_path.unlink()
+    from repro.core.substitute import train_substitute
+
+    n_queries = 400 if fast else 1000
+    substitute = train_substitute(
+        victim_model.predict,
+        split.train.images[:n_queries],
+        build_model=build,
+        epochs=6 if fast else 20,
+        augmentation_rounds=0 if fast else 1,
+        seed=11,
+    )
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    substitute.save(str(cache_path))
+    return substitute

@@ -25,12 +25,20 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.arith.fpm import AxFPM, Bfloat16Multiplier, Multiplier
+from repro.arith.fpm import AxFPM, Bfloat16Multiplier, HEAPMultiplier, Multiplier
 from repro.nn.approx import ApproxConv2d, ApproxLinear
 from repro.nn.functional import conv_output_size
 from repro.nn.layers import BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, Module, ReLU
 from repro.nn.network import Sequential
 from repro.nn.quantize import QuantConv2d, QuantLinear, QuantReLU
+from repro.registry import registry
+
+#: unified registry of model architecture builders (namespace ``"model"``)
+MODELS = registry("model")
+
+#: unified registry of hardware variants: factories that turn a trained model
+#: into its exact / approximate / bfloat16 deployment (namespace ``"variant"``)
+VARIANTS = registry("variant")
 
 
 def _after_conv(size: int, kernel: int, stride: int = 1, padding: int = 0) -> int:
@@ -41,6 +49,7 @@ def _after_pool(size: int, kernel: int = 2) -> int:
     return size // kernel
 
 
+@MODELS.register("lenet5", metadata={"summary": "LeNet-5 digit classifier"})
 def build_lenet5(
     input_shape: Tuple[int, int, int] = (1, 16, 16),
     num_classes: int = 10,
@@ -82,6 +91,7 @@ def build_lenet5(
     return Sequential(layers, name="lenet5")
 
 
+@MODELS.register("alexnet", metadata={"summary": "compact AlexNet object classifier"})
 def build_alexnet(
     input_shape: Tuple[int, int, int] = (3, 32, 32),
     num_classes: int = 10,
@@ -127,6 +137,7 @@ def build_alexnet(
     return Sequential(layers, name="alexnet")
 
 
+@MODELS.register("dq_cnn", metadata={"summary": "Defensive Quantization CNN (Appendix B)"})
 def build_dq_cnn(
     input_shape: Tuple[int, int, int] = (3, 32, 32),
     num_classes: int = 10,
@@ -282,3 +293,32 @@ def convert_to_bfloat16(model: Sequential, convert_linear: bool = False) -> Sequ
         convert_linear=convert_linear,
         name_suffix="_bf16",
     )
+
+
+# ----------------------------------------------------------------- variants
+# Hardware variants resolve a *trained* exact model into the deployment the
+# experiment pipeline names in its specs ("exact", "da", "heap", ...).  Each
+# factory shares the trained parameters with the input model.
+VARIANTS.register("exact", lambda model: model, metadata={"summary": "unmodified float32 model"})
+VARIANTS.register(
+    "da",
+    lambda model, **kw: convert_to_approximate(model, **kw),
+    metadata={"summary": "Defensive Approximation (Ax-FPM convolutions)"},
+)
+VARIANTS.register(
+    "heap",
+    lambda model, **kw: convert_to_approximate(
+        model, multiplier=HEAPMultiplier(), name_suffix="_heap", **kw
+    ),
+    metadata={"summary": "DA built from the HEAP multiplier"},
+)
+VARIANTS.register(
+    "bfloat16",
+    lambda model, **kw: convert_to_bfloat16(model, **kw),
+    metadata={"summary": "bfloat16-truncated convolutions"},
+)
+
+
+def model_variant(model: Sequential, variant: str, **kwargs) -> Sequential:
+    """Resolve a trained model into one of its registered hardware variants."""
+    return VARIANTS.create(variant, model=model, **kwargs)

@@ -1,0 +1,49 @@
+"""Declarative experiment pipeline.
+
+The pipeline turns the repository's experiments into data:
+
+* :mod:`repro.pipeline.spec` -- :class:`ExperimentSpec` /
+  :class:`AttackGridEntry`, the declarative description of one experiment;
+* :mod:`repro.pipeline.runner` -- the :class:`Runner` that resolves specs
+  through the unified registries and executes them with per-cell artifact
+  caching;
+* :mod:`repro.pipeline.handlers` -- one execution strategy per experiment
+  kind (transferability, blackbox, whitebox, accuracy, noise_profile, ...);
+* :mod:`repro.pipeline.catalog` -- the named spec for every paper table and
+  figure (what ``python -m repro list`` enumerates).
+
+Quickstart::
+
+    from repro.pipeline import Runner
+
+    result = Runner(fast=True).run("table04_blackbox_mnist")
+    print(result.table)
+    result.write("results")          # results/<name>.txt + results/<name>.json
+"""
+
+from repro.pipeline.runner import (
+    EXPERIMENT_KINDS,
+    EXPERIMENTS,
+    ExperimentResult,
+    Runner,
+    clear_model_caches,
+    get_experiment,
+    list_experiments,
+)
+from repro.pipeline.spec import AttackGridEntry, ExperimentSpec
+
+# importing the handlers and the catalog populates the registries
+import repro.pipeline.handlers  # noqa: E402,F401
+import repro.pipeline.catalog  # noqa: E402,F401
+
+__all__ = [
+    "AttackGridEntry",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Runner",
+    "EXPERIMENTS",
+    "EXPERIMENT_KINDS",
+    "list_experiments",
+    "get_experiment",
+    "clear_model_caches",
+]

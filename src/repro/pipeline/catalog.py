@@ -1,0 +1,286 @@
+"""The experiment catalog: one declarative spec per paper table / figure.
+
+Importing this module populates the ``"experiment"`` registry.  Every spec
+mirrors the protocol of the corresponding benchmark harness (and of the
+paper's experiment); the benchmarks under ``benchmarks/`` and the
+``python -m repro`` CLI both execute these specs through the
+:class:`~repro.pipeline.runner.Runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pipeline.runner import EXPERIMENTS
+from repro.pipeline.spec import AttackGridEntry, ExperimentSpec
+
+#: how many correctly-classified test samples each attack gets to work with.
+#: The paper uses larger pools; this keeps a full run in minutes on a laptop
+#: while leaving the result *shapes* intact.
+N_ATTACK_SAMPLES_DIGITS = 20
+N_ATTACK_SAMPLES_OBJECTS = 10
+N_WHITEBOX_SAMPLES = 6
+
+#: attack parameterisation for the digit (LeNet) experiments
+DIGIT_ATTACKS: Tuple[AttackGridEntry, ...] = (
+    AttackGridEntry("FGSM", "fgsm", {"epsilon": 0.1}),
+    AttackGridEntry("PGD", "pgd", {"epsilon": 0.1, "steps": 15}),
+    AttackGridEntry("JSMA", "jsma", {"theta": 0.8, "gamma": 0.08}),
+    AttackGridEntry("C&W", "cw", {"max_iterations": 80}),
+    AttackGridEntry("DF", "deepfool", {"max_iterations": 30}),
+    AttackGridEntry("LSA", "lsa", {"max_rounds": 12}),
+    AttackGridEntry("BA", "boundary", {"max_iterations": 80, "init_trials": 30}),
+    AttackGridEntry("HSJ", "hsj", {"max_iterations": 5, "num_eval_samples": 16}),
+)
+
+#: attack parameterisation for the object (AlexNet) experiments
+OBJECT_ATTACKS: Tuple[AttackGridEntry, ...] = (
+    AttackGridEntry("FGSM", "fgsm", {"epsilon": 0.05}),
+    AttackGridEntry("PGD", "pgd", {"epsilon": 0.05, "steps": 12}),
+    AttackGridEntry("JSMA", "jsma", {"theta": 0.6, "gamma": 0.03}),
+    AttackGridEntry("C&W", "cw", {"max_iterations": 60}),
+    AttackGridEntry("DF", "deepfool", {"max_iterations": 25}),
+    AttackGridEntry("LSA", "lsa", {"max_rounds": 10}),
+    AttackGridEntry("BA", "boundary", {"max_iterations": 60, "init_trials": 30}),
+    AttackGridEntry("HSJ", "hsj", {"max_iterations": 4, "num_eval_samples": 12}),
+)
+
+
+def _entries(grid: Tuple[AttackGridEntry, ...], *labels: str) -> Tuple[AttackGridEntry, ...]:
+    by_label = {entry.label: entry for entry in grid}
+    return tuple(by_label[label] for label in labels)
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the catalog (``"experiment"`` registry)."""
+    EXPERIMENTS.register(
+        spec.name, lambda spec=spec: spec, metadata={"title": spec.title, "kind": spec.kind}
+    )
+    return spec
+
+
+_SPECS = (
+    # ------------------------------------------------------------ figures 3-4
+    ExperimentSpec(
+        name="fig03_axfpm_noise",
+        kind="noise_profile",
+        title="Fig. 3: Ax-FPM noise profile over operands in [-1, 1]",
+        params={
+            "multipliers": [{"label": "Ax-FPM", "name": "axfpm"}],
+            "n_samples": 200_000,
+            "operand_range": (-1.0, 1.0),
+        },
+    ),
+    ExperimentSpec(
+        name="fig04_approx_convolution",
+        kind="conv_response",
+        title="Fig. 4: exact vs approximate convolution response vs similarity",
+        params={"multiplier": "axfpm", "kernel_size": 4, "n_points": 6, "seed": 0},
+    ),
+    # ----------------------------------------------------------- white box
+    ExperimentSpec(
+        name="fig08_09_whitebox_l2",
+        kind="whitebox",
+        title="Figs. 8-9: white-box DeepFool / C&W L2 budget, exact vs DA LeNet",
+        model="lenet_digits",
+        dataset="digits",
+        variants=("exact", "da"),
+        attacks=(
+            AttackGridEntry("DeepFool (Fig. 8)", "deepfool", {"max_iterations": 30}),
+            AttackGridEntry("C&W (Fig. 9)", "cw", {"max_iterations": 80}),
+        ),
+        n_samples=N_WHITEBOX_SAMPLES,
+        params={"columns": ("success", "l2"), "variant_labels": {"da": "approximate"}},
+    ),
+    ExperimentSpec(
+        name="fig10_11_whitebox_psnr_mse",
+        kind="whitebox",
+        title="Figs. 10-11: white-box adversarial MSE / PSNR, exact vs DA LeNet",
+        model="lenet_digits",
+        dataset="digits",
+        variants=("exact", "da"),
+        attacks=(
+            AttackGridEntry("DeepFool (Fig. 10)", "deepfool", {"max_iterations": 30}),
+            AttackGridEntry("C&W (Fig. 11)", "cw", {"max_iterations": 80}),
+        ),
+        n_samples=N_WHITEBOX_SAMPLES,
+        params={"columns": ("mse", "psnr"), "variant_labels": {"da": "approximate"}},
+    ),
+    # -------------------------------------------------------- figures 12-16
+    ExperimentSpec(
+        name="fig12_confidence_cdf",
+        kind="confidence",
+        title="Fig. 12: classification-confidence distribution, exact vs DA",
+        model="lenet_digits",
+        dataset="digits",
+        params={"per_class": 10, "thresholds": (0.5, 0.8, 0.9, 0.95)},
+    ),
+    ExperimentSpec(
+        name="fig13_bfloat16_noise",
+        kind="noise_profile",
+        title="Fig. 13: bfloat16 vs Ax-FPM noise over operands in [0, 1]",
+        params={
+            "multipliers": [
+                {"label": "Bfloat16", "name": "bfloat16"},
+                {"label": "Ax-FPM", "name": "axfpm"},
+            ],
+            "n_samples": 200_000,
+            "operand_range": (0.0, 1.0),
+        },
+    ),
+    ExperimentSpec(
+        name="fig15_heap_noise",
+        kind="noise_profile",
+        title="Fig. 15: Ax-FPM vs HEAP noise over operands in [0, 1]",
+        params={
+            "multipliers": [
+                {"label": "Ax-FPM", "name": "axfpm"},
+                {"label": "HEAP", "name": "heap"},
+            ],
+            "n_samples": 150_000,
+            "operand_range": (0.0, 1.0),
+        },
+    ),
+    ExperimentSpec(
+        name="fig16_heatmaps",
+        kind="feature_maps",
+        title="Fig. 16: last-conv feature-map statistics, exact vs Ax-FPM vs HEAP",
+        model="lenet_digits",
+        dataset="digits",
+        variants=("exact", "da", "heap"),
+        params={
+            "n_images": 16,
+            "variant_labels": {"exact": "Exact", "da": "Ax-FPM", "heap": "HEAP"},
+        },
+    ),
+    # ------------------------------------------------------ transferability
+    ExperimentSpec(
+        name="table02_transferability_mnist",
+        kind="transferability",
+        title="Table 2: transferability to the DA LeNet on the digit dataset",
+        model="lenet_digits",
+        dataset="digits",
+        source="exact",
+        variants=("exact", "da"),
+        attacks=DIGIT_ATTACKS,
+        n_samples=N_ATTACK_SAMPLES_DIGITS,
+        params={"headers": ["Attack method", "Exact LeNet-5", "Approximate LeNet-5"]},
+    ),
+    ExperimentSpec(
+        name="table03_transferability_cifar",
+        kind="transferability",
+        title="Table 3: transferability to the DA AlexNet on the object dataset",
+        model="alexnet_objects",
+        dataset="objects",
+        source="exact",
+        variants=("exact", "da"),
+        attacks=OBJECT_ATTACKS,
+        n_samples=N_ATTACK_SAMPLES_OBJECTS,
+        params={"headers": ["Attack method", "Exact AlexNet", "Approximate AlexNet"]},
+    ),
+    # ------------------------------------------------------------ black box
+    ExperimentSpec(
+        name="table04_blackbox_mnist",
+        kind="blackbox",
+        title="Table 4: black-box (substitute-model) attacks on the digit dataset",
+        model="lenet_digits",
+        dataset="digits",
+        variants=("exact", "da"),
+        attacks=_entries(DIGIT_ATTACKS, "FGSM", "PGD", "JSMA", "C&W", "DF", "LSA"),
+        n_samples=N_ATTACK_SAMPLES_DIGITS,
+        params={
+            "substitute": "substitute_digits",
+            "headers": ["Attack method", "Exact LeNet-5", "Approximate LeNet-5"],
+        },
+    ),
+    # ------------------------------------------------------------- DA vs DQ
+    ExperimentSpec(
+        name="table05_da_vs_dq",
+        kind="transferability",
+        title="Table 5: DA vs Defensive Quantization under transferability",
+        model="alexnet_objects",
+        dataset="objects",
+        source="exact",
+        variants=("exact", "da", "dq_full", "dq_weight"),
+        attacks=_entries(OBJECT_ATTACKS, "FGSM", "PGD", "C&W"),
+        n_samples=N_ATTACK_SAMPLES_OBJECTS,
+        params={"headers": ["Attack method", "Exact", "DA", "DQ: Full", "DQ: Weight-only"]},
+    ),
+    # ------------------------------------------------------------- accuracy
+    ExperimentSpec(
+        name="table06_accuracy",
+        kind="accuracy",
+        title="Table 6: clean accuracy of all hardware variants on both datasets",
+        params={
+            "columns": [
+                {
+                    "key": "digits",
+                    "label": "Digits (MNIST sub.)",
+                    "model": "lenet_digits",
+                    "variants": ["exact", "da", "bfloat16"],
+                    "n_samples": 200,
+                },
+                {
+                    "key": "objects",
+                    "label": "Objects (CIFAR-10 sub.)",
+                    "model": "alexnet_objects",
+                    "variants": ["exact", "da", "dq_full", "dq_weight", "bfloat16"],
+                    "n_samples": 150,
+                },
+            ],
+            "rows": [
+                {"label": "Float32", "variant": "exact"},
+                {"label": "Approximate (DA)", "variant": "da"},
+                {"label": "Fully quantized", "variant": "dq_full"},
+                {"label": "Weight-only quantized", "variant": "dq_weight"},
+                {"label": "Bfloat16", "variant": "bfloat16"},
+            ],
+        },
+    ),
+    # ------------------------------------------------------- hardware costs
+    ExperimentSpec(
+        name="table07_energy_delay",
+        kind="energy",
+        title="Table 7: normalised energy / delay of the floating point multipliers",
+        params={"table": "fpm"},
+    ),
+    ExperimentSpec(
+        name="table08_multiplier_accuracy",
+        kind="multiplier_accuracy",
+        title="Table 8: multiplier error metrics and LeNet clean accuracy",
+        model="lenet_digits",
+        dataset="digits",
+        n_samples=200,
+        params={
+            "profile_samples": 100_000,
+            "rows": [
+                {"label": "Exact multiplier", "variant": "exact", "profile": None},
+                {"label": "HEAP", "variant": "heap", "profile": "heap"},
+                {"label": "Ax-FPM", "variant": "da", "profile": "axfpm"},
+            ],
+        },
+    ),
+    ExperimentSpec(
+        name="table09_mantissa_energy",
+        kind="energy",
+        title="Table 9: normalised energy / delay of the bare mantissa multipliers",
+        params={"table": "mantissa"},
+    ),
+    # ------------------------------------------------------------- ablation
+    ExperimentSpec(
+        name="table10_heap_transferability",
+        kind="transferability",
+        title="Table 10: transferability against HEAP-based vs Ax-FPM-based DA",
+        model="lenet_digits",
+        dataset="digits",
+        source="exact",
+        variants=("exact", "heap", "da"),
+        attacks=_entries(DIGIT_ATTACKS, "FGSM", "PGD", "JSMA", "C&W", "DF", "LSA"),
+        n_samples=N_ATTACK_SAMPLES_DIGITS,
+        params={"headers": ["Attack", "Exact-based", "HEAP-based", "Ax-FPM-based"]},
+    ),
+)
+
+for _spec in _SPECS:
+    register_experiment(_spec)
+del _spec

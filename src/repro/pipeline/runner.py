@@ -1,0 +1,338 @@
+"""The experiment runner: resolves declarative specs and executes them.
+
+The :class:`Runner` is the single execution engine behind every benchmark and
+behind ``python -m repro run``.  It
+
+* resolves every string in an :class:`~repro.pipeline.spec.ExperimentSpec`
+  through the unified registries (zoo models, hardware variants, attacks,
+  experiment kinds),
+* memoises trained models in-process (the zoo already caches parameters on
+  disk, so across processes only the first run trains),
+* caches every grid cell (one attack evaluated against one set of victims) as
+  a JSON artifact under the zoo cache directory, keyed by the cell's resolved
+  content -- re-running an experiment, or a sibling experiment that shares
+  cells (Figures 8/9 and 10/11 share their white-box runs), is a cache hit,
+* emits an :class:`ExperimentResult` carrying the paper-style text table plus
+  machine-readable metrics, and can persist both as
+  ``results/<name>.txt`` / ``results/<name>.json``.
+
+Experiment *kinds* (transferability, blackbox, whitebox, accuracy, ...) are
+themselves registry entries, so a new scenario shape can be plugged in without
+touching this module (see :mod:`repro.pipeline.handlers`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.attacks.base import Attack, Classifier
+from repro.attacks.registry import ATTACKS
+from repro.core.results import format_table
+from repro.experiments.zoo import CACHE_DIR, ZOO
+from repro.nn.models import VARIANTS
+from repro.pipeline.spec import AttackGridEntry, ExperimentSpec, canonical_digest
+from repro.registry import registry
+
+#: named experiment specs -- the catalog (namespace ``"experiment"``)
+EXPERIMENTS = registry("experiment")
+
+#: execution strategies, one per spec ``kind`` (namespace ``"experiment-kind"``)
+EXPERIMENT_KINDS = registry("experiment-kind")
+
+#: bump to invalidate all cached grid-cell artifacts.  Cell keys also include
+#: the package version, so a release that changes attack/evaluation behaviour
+#: invalidates stale artifacts automatically; within a development cycle, use
+#: ``use_cache=False`` / ``--no-cache`` / ``REPRO_PIPELINE_NO_CACHE=1`` after
+#: behavioural changes.
+CELL_CACHE_VERSION = 1
+
+#: attack sample budget applied by ``--fast``
+FAST_MAX_SAMPLES = 4
+
+#: iteration-style attack parameters scaled down by ``--fast`` (value // 4,
+#: floored at the minimum that keeps the attack functional)
+_FAST_PARAM_FLOORS = {
+    "steps": 1,
+    "max_iterations": 1,
+    "max_rounds": 1,
+    "init_trials": 10,
+    "num_eval_samples": 4,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one pipeline experiment."""
+
+    name: str
+    title: str
+    kind: str
+    fast: bool
+    headers: List[str]
+    rows: List[List[Any]]
+    metrics: Dict[str, Any]
+    spec: Dict[str, Any] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def table(self) -> str:
+        """The paper-style plain-text table."""
+        return format_table(self.headers, self.rows)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "kind": self.kind,
+            "fast": self.fast,
+            "headers": self.headers,
+            "rows": [[_jsonable(cell) for cell in row] for row in self.rows],
+            "metrics": _jsonable(self.metrics),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "spec": _jsonable(self.spec),
+        }
+
+    def write(self, results_dir: Union[str, Path]) -> Tuple[Path, Path]:
+        """Persist ``<name>.txt`` (table) and ``<name>.json`` (full result)."""
+        results_dir = Path(results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        txt_path = results_dir / f"{self.name}.txt"
+        json_path = results_dir / f"{self.name}.json"
+        txt_path.write_text(self.table + "\n")
+        json_path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return txt_path, json_path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-encodable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):  # numpy scalars
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value
+
+
+# in-process memoisation shared by all Runner instances: trained models are
+# immutable-by-convention here (their parameters are only read), and the zoo's
+# disk cache already guarantees cross-process reuse.
+_ZOO_CACHE: Dict[Any, Any] = {}
+_VARIANT_CACHE: Dict[Any, Any] = {}
+
+
+def clear_model_caches() -> None:
+    """Drop the in-process model memos (tests / memory pressure)."""
+    _ZOO_CACHE.clear()
+    _VARIANT_CACHE.clear()
+
+
+class Runner:
+    """Executes :class:`ExperimentSpec` instances.
+
+    Parameters
+    ----------
+    fast:
+        Smoke-test mode: fast zoo profiles, ``FAST_MAX_SAMPLES`` attack
+        samples, scaled-down attack iteration counts.
+    results_dir:
+        When set, :meth:`run` writes ``<name>.txt`` and ``<name>.json`` here.
+    cache_dir:
+        Grid-cell artifact cache location (default: ``<zoo cache>/pipeline``).
+    use_cache:
+        Disable to force recomputation of every grid cell.
+    progress:
+        Optional callable receiving human-readable progress lines.
+    """
+
+    def __init__(
+        self,
+        fast: bool = False,
+        results_dir: Optional[Union[str, Path]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.fast = bool(fast)
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else CACHE_DIR / "pipeline"
+        if os.environ.get("REPRO_PIPELINE_NO_CACHE", "").lower() not in ("", "0", "false"):
+            use_cache = False
+        self.use_cache = bool(use_cache)
+        self.progress = progress
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------- run
+    def run(self, experiment: Union[str, ExperimentSpec]) -> ExperimentResult:
+        """Execute one experiment (by catalog name or as an explicit spec)."""
+        spec = self._resolve_spec(experiment)
+        handler_entry = EXPERIMENT_KINDS.get(spec.kind)
+        self._log(f"[{spec.name}] kind={spec.kind} fast={self.fast}")
+        hits_before, misses_before = self.cache_hits, self.cache_misses
+        start = time.perf_counter()
+        headers, rows, metrics = handler_entry.factory(self, spec)
+        elapsed = time.perf_counter() - start
+        result = ExperimentResult(
+            name=spec.name,
+            title=spec.title,
+            kind=spec.kind,
+            fast=self.fast,
+            headers=list(headers),
+            rows=[list(row) for row in rows],
+            metrics=metrics,
+            spec=spec.to_dict(),
+            cache_hits=self.cache_hits - hits_before,
+            cache_misses=self.cache_misses - misses_before,
+            elapsed_seconds=elapsed,
+        )
+        if self.results_dir is not None:
+            result.write(self.results_dir)
+        return result
+
+    @staticmethod
+    def _resolve_spec(experiment: Union[str, ExperimentSpec]) -> ExperimentSpec:
+        if isinstance(experiment, ExperimentSpec):
+            return experiment
+        import repro.pipeline.catalog  # noqa: F401  (populates EXPERIMENTS)
+
+        return EXPERIMENTS.create(experiment)
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # -------------------------------------------------------- model resolution
+    def zoo(self, name: str, **kwargs) -> Any:
+        """Resolve a trained-model provider, memoised in-process."""
+        key = (name, self.fast, tuple(sorted(kwargs.items())))
+        if key not in _ZOO_CACHE:
+            self._log(f"  zoo: resolving {name} {kwargs or ''}")
+            _ZOO_CACHE[key] = ZOO.create(name, fast=self.fast, **kwargs)
+        return _ZOO_CACHE[key]
+
+    def resolve_variant(self, spec: ExperimentSpec, variant: str):
+        """A hardware variant of the spec's base model.
+
+        ``dq_full`` / ``dq_weight`` resolve through a Defensive Quantization
+        zoo entry (independently trained models) -- by default ``dq_objects``,
+        overridable per spec via ``params["dq_zoo"]`` so a future digits DQ
+        comparison binds its own dataset; everything else converts the spec's
+        trained base model through the ``"variant"`` registry.
+        """
+        if variant.startswith("dq_"):
+            models, _ = self.zoo(spec.params.get("dq_zoo", "dq_objects"))
+            return models[variant[len("dq_") :]]
+        key = (spec.model, self.fast, variant)
+        if key not in _VARIANT_CACHE:
+            base, _split = self.zoo(spec.model)
+            _VARIANT_CACHE[key] = VARIANTS.create(variant, model=base)
+        return _VARIANT_CACHE[key]
+
+    def classifier(self, spec: ExperimentSpec, variant: str) -> Classifier:
+        """A fresh attack facade over a resolved variant model."""
+        return Classifier(self.resolve_variant(spec, variant))
+
+    def split(self, spec: ExperimentSpec):
+        """The spec model's train/test split."""
+        _model, split = self.zoo(spec.model)
+        return split
+
+    # ------------------------------------------------------------- attacks
+    def attack_params(self, entry: AttackGridEntry) -> Dict[str, Any]:
+        """The entry's constructor parameters, scaled down in fast mode."""
+        params = dict(entry.params)
+        if self.fast:
+            for key, floor in _FAST_PARAM_FLOORS.items():
+                if key in params:
+                    params[key] = max(floor, int(params[key]) // 4)
+        return params
+
+    def attack(self, entry: AttackGridEntry) -> Attack:
+        """Instantiate one attack-grid entry through the attack registry."""
+        return ATTACKS.create(entry.attack, **self.attack_params(entry))
+
+    def sample_budget(self, spec: ExperimentSpec) -> int:
+        """Attack sample budget, shrunk by fast mode."""
+        n = int(spec.n_samples)
+        return min(n, FAST_MAX_SAMPLES) if self.fast else n
+
+    # ------------------------------------------------------- cell artifacts
+    def cell(
+        self,
+        cell_kind: str,
+        payload: Dict[str, Any],
+        compute: Callable[[], Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Compute one grid cell, caching its JSON artifact on disk.
+
+        ``payload`` must fully determine the cell's result: it is hashed into
+        the cache key together with the cell kind, the fast flag and
+        :data:`CELL_CACHE_VERSION`.  Cells are keyed by *content*, not by
+        experiment name, so experiments that share work share artifacts.
+        """
+        import repro
+
+        digest = canonical_digest(
+            {
+                "cell_kind": cell_kind,
+                "fast": self.fast,
+                "version": CELL_CACHE_VERSION,
+                "package_version": repro.__version__,
+                "payload": _jsonable(payload),
+            }
+        )
+        path = self.cache_dir / cell_kind / f"{digest}.json"
+        if self.use_cache and path.exists():
+            try:
+                value = json.loads(path.read_text())
+                self.cache_hits += 1
+                return value
+            except (ValueError, OSError):
+                path.unlink()
+        self._log(f"  cell: computing {cell_kind} {digest[:10]}")
+        value = _jsonable(compute())
+        if self.use_cache:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(value, sort_keys=True))
+        self.cache_misses += 1
+        return value
+
+
+# ------------------------------------------------------------------ helpers
+def percentage(value: float) -> str:
+    """``0.42 -> "42%"`` (paper-table formatting)."""
+    return f"{100.0 * float(value):.0f}%"
+
+
+def variant_labels(spec: ExperimentSpec, names: Sequence[str]) -> List[str]:
+    """Display labels for variant names (spec.params['variant_labels'] wins)."""
+    labels = dict(spec.params.get("variant_labels", {}))
+    return [labels.get(name, name) for name in names]
+
+
+def list_experiments() -> List[str]:
+    """Catalog experiment names, in registration (paper) order."""
+    import repro.pipeline.catalog  # noqa: F401
+
+    return EXPERIMENTS.names()
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Fetch one catalog spec by name."""
+    import repro.pipeline.catalog  # noqa: F401
+
+    return EXPERIMENTS.create(name)

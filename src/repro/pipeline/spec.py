@@ -1,0 +1,110 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a complete, serialisable description of one
+paper experiment: which zoo model it uses, which hardware variants it
+compares, which attacks it runs, and how many samples it attacks.  The
+:class:`~repro.pipeline.runner.Runner` resolves every string in a spec through
+the unified registries (:mod:`repro.registry`) and executes it; nothing in a
+spec is executable by itself.
+
+Adding a new scenario therefore means adding one spec to
+:mod:`repro.pipeline.catalog` (or registering one at runtime in the
+``"experiment"`` registry) instead of writing a new harness script.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class AttackGridEntry:
+    """One attack column/row of an experiment's attack grid."""
+
+    label: str  #: display label used in the emitted table (e.g. ``"C&W"``)
+    attack: str  #: name in the ``"attack"`` registry (e.g. ``"cw"``)
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def of(entry) -> "AttackGridEntry":
+        """Coerce ``(label, attack, params)`` tuples into entries."""
+        if isinstance(entry, AttackGridEntry):
+            return entry
+        label, attack, params = entry
+        return AttackGridEntry(label, attack, dict(params))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one table/figure experiment.
+
+    Parameters
+    ----------
+    name:
+        Unique experiment identifier (``table04_blackbox_mnist``, ...); also
+        the stem of the emitted result files.
+    kind:
+        Execution strategy, resolved through the ``"experiment-kind"``
+        registry (``transferability``, ``blackbox``, ``whitebox``,
+        ``accuracy``, ``noise_profile``, ...).
+    title:
+        Human-readable one-liner shown by ``python -m repro list``.
+    model:
+        Name of the trained-model provider in the ``"zoo"`` registry.
+    dataset:
+        Informative dataset tag (``digits`` / ``objects``).
+    source:
+        Hardware variant adversarial examples are crafted on
+        (transferability experiments).
+    variants:
+        Hardware variants evaluated as targets / victims, resolved through
+        the ``"variant"`` registry (``dq_*`` names resolve through the DQ
+        zoo entry instead).
+    attacks:
+        The attack grid, one :class:`AttackGridEntry` per attack.
+    n_samples:
+        Per-experiment attack sample budget (paper-scale; ``--fast`` shrinks
+        it).
+    params:
+        Kind-specific extras (table headers, thresholds, multiplier lists...).
+    """
+
+    name: str
+    kind: str
+    title: str = ""
+    model: str = ""
+    dataset: str = ""
+    source: str = "exact"
+    variants: Tuple[str, ...] = ()
+    attacks: Tuple[AttackGridEntry, ...] = ()
+    n_samples: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "variants", tuple(self.variants))
+        object.__setattr__(
+            self, "attacks", tuple(AttackGridEntry.of(a) for a in self.attacks)
+        )
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------- utilities
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able canonical form (also what cache keys are derived from)."""
+        return asdict(self)
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy of this spec with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def digest(self) -> str:
+        """Stable content hash of the spec (used in cache keys)."""
+        return canonical_digest(self.to_dict())
+
+
+def canonical_digest(payload: Any) -> str:
+    """SHA-1 over the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha1(encoded.encode("utf-8")).hexdigest()

@@ -91,6 +91,25 @@ def test_gradient_counter_increments():
     assert clf.gradient_count == 3
 
 
+def test_class_gradient_counts_no_queries_and_one_gradient_per_sample():
+    # regression test for the black-box budget leak: class_gradient used to
+    # call model.predict_logits directly, bypassing query_count
+    clf = make_classifier(seed=10)
+    x = np.random.default_rng(11).uniform(0, 1, size=(4, 1, 3, 3)).astype(np.float32)
+    clf.class_gradient(x, np.array([0, 1, 2, 3]))
+    assert clf.query_count == 0
+    assert clf.gradient_count == 4
+
+
+def test_jacobian_counter_invariants():
+    clf = make_classifier(seed=12)
+    x = np.random.default_rng(13).uniform(0, 1, size=(2, 1, 3, 3)).astype(np.float32)
+    clf.jacobian(x)
+    # one backward pass per class, each counted over the batch; no queries
+    assert clf.query_count == 0
+    assert clf.gradient_count == 2 * clf.num_classes
+
+
 def test_clip_respects_bounds():
     clf = make_classifier()
     x = np.array([-1.0, 0.5, 2.0], dtype=np.float32)

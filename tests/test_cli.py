@@ -1,0 +1,75 @@
+"""Smoke tests for the ``python -m repro`` command line interface."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_list_enumerates_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split()[0] for line in out.strip().splitlines()]
+    assert len(names) >= 10
+    assert "table04_blackbox_mnist" in names
+
+
+def test_info_prints_spec_json(capsys):
+    assert main(["info", "table02_transferability_mnist"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "transferability"
+    assert payload["model"] == "lenet_digits"
+
+
+def test_run_writes_results(tmp_path, capsys):
+    results_dir = tmp_path / "results"
+    code = main(
+        ["run", "table07_energy_delay", "--fast", "--no-cache", "--results-dir", str(results_dir)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "table07_energy_delay" in out
+    assert (results_dir / "table07_energy_delay.txt").exists()
+    payload = json.loads((results_dir / "table07_energy_delay.json").read_text())
+    assert payload["fast"] is True
+    assert payload["metrics"]["by_name"]["Exact multiplier"] == {"energy": 1.0, "delay": 1.0}
+
+
+def test_unknown_experiment_is_a_clean_error(capsys):
+    assert main(["run", "no_such_experiment"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "table04_blackbox_mnist" in err  # lists what is available
+    assert main(["info", "no_such_experiment"]) == 2
+
+
+def test_module_entry_point_runs_fast_experiment(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_DA_CACHE"] = str(tmp_path / "cache")  # keep ~/.cache pristine
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "run",
+            "table09_mantissa_energy",
+            "--fast",
+            "--quiet",
+            "--results-dir",
+            str(tmp_path / "results"),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert (tmp_path / "results" / "table09_mantissa_energy.txt").exists()
+    assert (tmp_path / "results" / "table09_mantissa_energy.json").exists()
