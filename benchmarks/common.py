@@ -9,18 +9,26 @@ recomputation after behavioural changes).  Each harness persists the
 paper-style text table and a machine-readable JSON result under
 ``benchmarks/results/`` -- the same schema ``python -m repro run`` writes --
 so the performance / robustness trajectory can be tracked across PRs.
+
+All 17 harnesses execute through one shared runner whose worker count comes
+from the ``REPRO_JOBS`` environment variable (``auto`` -- every available
+core -- by default): uncached grid cells shard across a process pool exactly
+as under ``python -m repro run --jobs N``, and results are bit-for-bit
+independent of the worker count.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.pipeline import ExperimentResult, Runner
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-#: one shared runner per pytest session; trained models are memoised in-process
-RUNNER = Runner()
+#: one shared runner per pytest session; trained models are memoised
+#: in-process and uncached cells spread over ``REPRO_JOBS`` workers
+RUNNER = Runner(jobs=os.environ.get("REPRO_JOBS", "auto"))
 
 
 def run_experiment(name: str) -> ExperimentResult:

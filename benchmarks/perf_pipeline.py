@@ -1,0 +1,120 @@
+"""Pipeline throughput benchmark: serial vs sharded multi-process execution.
+
+Times the fast-profile :data:`~repro.pipeline.catalog.FAST_PERF_SUBSET`
+workload (12 unique grid cells across 4 experiments) three ways and writes
+``BENCH_pipeline.json`` at the repository root -- the seed of the pipeline's
+performance trajectory across PRs:
+
+* ``jobs=1``, cold cell cache -- the serial baseline;
+* ``jobs=auto``, cold cell cache -- the parallel engine (identical results,
+  bit for bit);
+* ``jobs=auto``, warm cell cache -- every cell a hit, measuring plan +
+  artifact-load overhead.
+
+Zoo models are resolved (trained or disk-loaded) once up front so the
+timings isolate pipeline execution, not model training.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/perf_pipeline.py [--jobs N] [--out PATH]
+
+The speedup is hardware-dependent; the JSON records the machine's CPU count
+next to the numbers.  On a single-core machine the parallel run measures
+pure engine overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.parallel.sharding import resolve_jobs  # noqa: E402
+from repro.pipeline import NONDETERMINISTIC_RESULT_FIELDS, Runner  # noqa: E402
+from repro.pipeline.catalog import FAST_PERF_SUBSET  # noqa: E402
+
+
+def _timed_run(jobs: int, cache_dir: Path, label: str) -> dict:
+    runner = Runner(fast=True, cache_dir=cache_dir, jobs=jobs)
+    start = time.perf_counter()
+    results = runner.run_many(list(FAST_PERF_SUBSET))
+    wall = time.perf_counter() - start
+    payloads = []
+    for result in results:
+        payload = result.to_json()
+        for field in NONDETERMINISTIC_RESULT_FIELDS:
+            payload.pop(field, None)
+        # compare canonical JSON text, not dicts: NaN != NaN would falsely
+        # flag zero-success white-box cells as nondeterministic
+        payloads.append(json.dumps(payload, sort_keys=True))
+    return {
+        "label": label,
+        "jobs": runner.jobs,
+        "wall_seconds": round(wall, 3),
+        "cells_total": runner.telemetry.cells_total,
+        "cache_hits": runner.telemetry.cache_hits,
+        "cache_misses": runner.telemetry.cache_misses,
+        "compute_seconds": round(runner.telemetry.compute_seconds, 3),
+        "_deterministic_payload": payloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", default="auto", help="parallel worker count (default: auto)")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_pipeline.json"),
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+
+    # resolve (train or load) the zoo models and build the hardware variants /
+    # multiplier LUTs outside the timed region, so every timed run -- serial
+    # and parallel alike -- starts from the same process state and the
+    # comparison isolates pipeline execution
+    warm = Runner(fast=True)
+    warm.zoo("lenet_digits")
+    from repro.pipeline import ExperimentSpec
+
+    warm_spec = ExperimentSpec(name="__warm__", kind="cell", model="lenet_digits")
+    for variant in ("exact", "da", "heap", "bfloat16"):
+        warm.resolve_variant(warm_spec, variant)
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        tmp = Path(tmp)
+        serial = _timed_run(1, tmp / "serial", "jobs=1, cold cache")
+        parallel = _timed_run(jobs, tmp / "parallel", f"jobs={jobs}, cold cache")
+        warm_cache = _timed_run(jobs, tmp / "parallel", f"jobs={jobs}, warm cache")
+
+    identical = serial.pop("_deterministic_payload") == parallel.pop("_deterministic_payload")
+    warm_cache.pop("_deterministic_payload")
+    record = {
+        "benchmark": "pipeline_parallel_execution",
+        "workload": list(FAST_PERF_SUBSET),
+        "fast_profile": True,
+        "cpu_count": resolve_jobs("auto"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "runs": [serial, parallel, warm_cache],
+        "speedup": round(serial["wall_seconds"] / max(parallel["wall_seconds"], 1e-9), 3),
+        "results_identical_across_jobs": identical,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\n# wrote {out_path}")
+    if not identical:
+        print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,7 @@ minutes.  ``frac_bits=23`` recovers the paper's full-width datapath (no LUT).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,13 @@ MULTIPLIERS = registry("multiplier")
 
 #: widest fraction for which an exhaustive mantissa LUT is built automatically
 LUT_MAX_FRAC_BITS = 10
+
+#: process-level LUT memo, keyed by the mantissa array's configuration.
+#: Every multiplier instance of the same design shares one table, so the
+#: exhaustive gate-level tabulation runs once per process -- pipeline workers
+#: rebuild it on first use (or inherit it copy-on-write under ``fork``)
+#: instead of once per resolved variant / noise-profile cell.
+_LUT_CACHE: Dict[Tuple[str, int, str], np.ndarray] = {}
 
 
 class Multiplier(ABC):
@@ -171,7 +178,22 @@ class ApproxFPM(Multiplier):
 
     def _get_lut(self) -> np.ndarray:
         if self._lut is None:
-            self._lut = self.mantissa_multiplier.build_lut()
+            policy = self.mantissa_multiplier.policy
+            # only the built-in policies have parameter-complete describe()
+            # strings; a custom CellPolicy subclass may not encode its own
+            # configuration, so it gets a per-instance LUT instead of a
+            # (possibly wrong) shared one
+            cacheable = type(policy) in (UniformCellPolicy, HeterogeneousCellPolicy)
+            if not cacheable:
+                self._lut = self.mantissa_multiplier.build_lut()
+                return self._lut
+            key = (policy.describe(), self.mantissa_multiplier.n_bits, self.mantissa_multiplier.port_a)
+            lut = _LUT_CACHE.get(key)
+            if lut is None:
+                lut = self.mantissa_multiplier.build_lut()
+                lut.setflags(write=False)  # shared across instances
+                _LUT_CACHE[key] = lut
+            self._lut = lut
         return self._lut
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -7,12 +7,17 @@ Commands
     Enumerate the experiment catalog (every paper table / figure).
 ``info <experiment>``
     Show one experiment's resolved declarative spec as JSON.
-``run <experiment> [...] [--fast]``
+``run <experiment> [...] [--fast] [--jobs N]``
     Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
     printing the paper-style table and writing ``results/<name>.txt`` and
     ``results/<name>.json``.  ``run all`` executes the whole catalog.
     ``--fast`` switches to the smoke-test profile (small zoo models, few
-    attack samples, scaled-down attack iterations).
+    attack samples, scaled-down attack iterations).  ``--jobs`` shards the
+    run's grid cells (and, within the attack cells, the victim examples)
+    across worker processes -- the default ``auto`` uses every available
+    core, and any value is bit-for-bit identical to ``--jobs 1``.  All
+    requested experiments are planned as one deduplicated cell graph, so
+    ``run all`` computes each shared cell once.
 """
 
 from __future__ import annotations
@@ -24,6 +29,19 @@ from typing import List, Optional
 
 from repro.pipeline import EXPERIMENTS, Runner, get_experiment, list_experiments
 from repro.registry import RegistryError
+
+
+def _jobs_value(value: str):
+    """argparse type for ``--jobs``: ``auto`` or a positive integer."""
+    if value == "auto":
+        return value
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer or 'auto', got {value!r}")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every grid cell, ignoring cached artifacts",
     )
     run.add_argument(
+        "--jobs",
+        default="auto",
+        type=_jobs_value,
+        metavar="N",
+        help="worker processes for cell execution: a positive integer, or "
+        "'auto' for the CPU count (default).  Results are identical for "
+        "every value.",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress progress lines (tables still print)"
     )
     return parser
@@ -88,9 +115,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         results_dir=args.results_dir,
         use_cache=not args.no_cache,
         progress=progress,
+        jobs=args.jobs,
     )
-    for name in names:
-        result = runner.run(name)
+
+    def show(result) -> None:
         print(f"\n===== {result.name} =====")
         if result.title:
             print(f"# {result.title}")
@@ -100,6 +128,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({result.elapsed_seconds:.1f}s, cells: {result.cache_hits} cached / "
             f"{result.cache_misses} computed)"
         )
+
+    runner.run_many(names, on_result=show)
+    telemetry = runner.telemetry
+    print(
+        f"\n# run summary: {telemetry.cells_total} cells "
+        f"({telemetry.cache_hits} cached, {telemetry.cache_misses} computed, "
+        f"{telemetry.compute_seconds:.1f}s compute) on {runner.jobs} worker(s)"
+    )
     return 0
 
 

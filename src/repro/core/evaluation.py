@@ -31,14 +31,37 @@ from repro.core.metrics import l2_distance, mse, psnr
 
 
 def select_correctly_classified(
-    classifier: Classifier, images: np.ndarray, labels: np.ndarray, max_samples: Optional[int] = None
+    classifier: Classifier,
+    images: np.ndarray,
+    labels: np.ndarray,
+    max_samples: Optional[int] = None,
+    batch_size: int = 128,
 ) -> np.ndarray:
-    """Indices of samples the classifier labels correctly (optionally capped)."""
-    predictions = classifier.predict(images)
-    indices = np.flatnonzero(predictions == np.asarray(labels))
-    if max_samples is not None:
-        indices = indices[:max_samples]
-    return indices
+    """Indices of samples the classifier labels correctly (optionally capped).
+
+    With ``max_samples`` the scan early-stops once enough correct samples are
+    found, predicting in ``batch_size`` chunks: selecting a handful of victims
+    no longer pays for classifying the whole test set (which is expensive on
+    the emulated approximate hardware).  The returned indices are identical to
+    a full scan followed by a cap -- the selection is a prefix property -- so
+    every shard of a cell reproduces the same victim set.
+    """
+    labels = np.asarray(labels)
+    if max_samples is None:
+        predictions = classifier.predict(images)
+        return np.flatnonzero(predictions == labels)
+    collected = []
+    found = 0
+    for start in range(0, len(images), batch_size):
+        stop = min(len(images), start + batch_size)
+        predictions = classifier.predict(images[start:stop])
+        hits = np.flatnonzero(predictions == labels[start:stop]) + start
+        collected.append(hits)
+        found += len(hits)
+        if found >= max_samples:
+            break
+    indices = np.concatenate(collected) if collected else np.array([], dtype=np.intp)
+    return indices[:max_samples]
 
 
 # ------------------------------------------------------------ transferability

@@ -28,6 +28,7 @@ import numpy as np
 from repro.datasets import DataSplit, generate_digits, generate_objects, train_test_split
 from repro.nn import SGD, Adam, build_alexnet, build_dq_cnn, build_lenet5, train_classifier
 from repro.nn.network import Sequential
+from repro.parallel.locks import FileLock, atomic_path
 from repro.registry import registry
 
 #: unified registry of trained-model providers (namespace ``"zoo"``)
@@ -56,20 +57,47 @@ def load_objects_split(test_fraction: float = 0.2, fast: bool = False) -> DataSp
     return train_test_split(generate_objects(**config), test_fraction)
 
 
+def _try_load(model: Sequential, cache_path: Path) -> bool:
+    """Load cached parameters into ``model``; drops unreadable caches."""
+    if not cache_path.exists():
+        return False
+    try:
+        model.load(str(cache_path))
+        return True
+    except (KeyError, ValueError, OSError, EOFError):
+        # architecture changed since the cache was written (or the file
+        # predates atomic writes and is truncated); retrain
+        try:
+            cache_path.unlink()
+        except OSError:
+            pass
+        return False
+
+
+def _save_atomic(model: Sequential, cache_path: Path) -> None:
+    """Publish trained parameters via tmp + rename (never a partial ``.npz``)."""
+    with atomic_path(cache_path, suffix=".npz") as tmp:
+        model.save(str(tmp))
+
+
 def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -> Sequential:
-    """Build a model and load cached parameters, or train and cache them."""
+    """Build a model and load cached parameters, or train and cache them.
+
+    Training happens under an advisory file lock, so concurrent processes
+    (pipeline pool workers, parallel CLI invocations) sharing the cache
+    directory train each model exactly once: whoever takes the lock first
+    trains and saves, everyone else blocks and then loads the published file.
+    """
     model = builder()
     cache_path = CACHE_DIR / f"{cache_name}.npz"
-    if cache_path.exists():
-        try:
-            model.load(str(cache_path))
-            return model
-        except (KeyError, ValueError):
-            # architecture changed since the cache was written; retrain
-            cache_path.unlink()
-    trainer(model)
+    if _try_load(model, cache_path):
+        return model
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    model.save(str(cache_path))
+    with FileLock(CACHE_DIR / f"{cache_name}.npz.lock"):
+        if _try_load(model, cache_path):  # trained elsewhere while we waited
+            return model
+        trainer(model)
+        _save_atomic(model, cache_path)
     return model
 
 
@@ -177,23 +205,22 @@ def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
         )
 
     substitute = build()
-    if cache_path.exists():
-        try:
-            substitute.load(str(cache_path))
-            return substitute
-        except (KeyError, ValueError):
-            cache_path.unlink()
-    from repro.core.substitute import train_substitute
-
-    n_queries = 400 if fast else 1000
-    substitute = train_substitute(
-        victim_model.predict,
-        split.train.images[:n_queries],
-        build_model=build,
-        epochs=6 if fast else 20,
-        augmentation_rounds=0 if fast else 1,
-        seed=11,
-    )
+    if _try_load(substitute, cache_path):
+        return substitute
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    substitute.save(str(cache_path))
+    with FileLock(cache_path.with_name(cache_path.name + ".lock")):
+        if _try_load(substitute, cache_path):  # trained elsewhere while we waited
+            return substitute
+        from repro.core.substitute import train_substitute
+
+        n_queries = 400 if fast else 1000
+        substitute = train_substitute(
+            victim_model.predict,
+            split.train.images[:n_queries],
+            build_model=build,
+            epochs=6 if fast else 20,
+            augmentation_rounds=0 if fast else 1,
+            seed=11,
+        )
+        _save_atomic(substitute, cache_path)
     return substitute

@@ -1,0 +1,202 @@
+"""The process-pool execution engine behind ``Runner(jobs=N)``.
+
+Planned cell tasks (see :mod:`repro.parallel.plan`) are expanded into their
+shard subtasks and scheduled onto a ``ProcessPoolExecutor``; the parent
+process merges each cell's ordered shard results, writes the artifact
+atomically and streams a progress event.  Because shard decomposition and
+per-shard RNG seeding are pure functions of cell content
+(:mod:`repro.parallel.sharding`), the pool produces bit-for-bit the same
+values as the serial path.
+
+Coordination with *other* processes -- pool workers of a second CLI
+invocation sharing the cache directory -- uses the advisory locks of
+:mod:`repro.parallel.locks`: each cell is computed under its digest lock, so
+a cell being computed elsewhere is *deferred* here and collected from the
+cache once the foreign process releases it, instead of being recomputed.
+
+Worker processes are started with an initialiser that imports the pipeline
+registries and builds a per-process serial :class:`Runner`; zoo models and
+multiplier LUTs are resolved once per process (and, under the default
+``fork`` start method, models the parent warmed up before the pool was
+created are inherited copy-on-write and never rebuilt at all).
+
+Start-method caveat: ``fork`` also carries *runtime* registry registrations
+(custom zoo entries, specs registered from a script) into the workers.  On
+platforms without ``fork`` the ``spawn`` fallback re-imports the package
+fresh, so only registrations performed at import time (the catalog, or
+modules imported by your entry point) are visible to workers -- register
+custom components in an importable module, or run with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.locks import FileLock, LockUnavailable
+from repro.parallel.plan import CellOutcome, CellTask
+from repro.pipeline.cells import get_cell_kind
+
+#: called with (task, outcome) as each cell completes
+OnCell = Callable[[CellTask, CellOutcome], None]
+
+
+class CellExecutionError(RuntimeError):
+    """A cell shard raised in a worker; carries the failing cell's identity."""
+
+
+# ----------------------------------------------------------- worker side
+_WORKER_RUNNER = None
+
+
+def _worker_init(fast: bool, cache_dir: str, use_cache: bool, shard_size: int) -> None:
+    """Build the per-process runner; resolves registries exactly once."""
+    global _WORKER_RUNNER
+    import repro.pipeline  # populates kind/cell/zoo/attack registries
+
+    _WORKER_RUNNER = repro.pipeline.Runner(
+        fast=fast, cache_dir=cache_dir, use_cache=use_cache, jobs=1, shard_size=shard_size
+    )
+
+
+def _run_shard(kind_name: str, payload: Dict[str, Any], shard_index: int) -> Tuple[Any, float]:
+    """Compute one shard in a worker; returns ``(shard_value, seconds)``."""
+    start = perf_counter()
+    value = get_cell_kind(kind_name).compute_shard(_WORKER_RUNNER, payload, shard_index)
+    return value, perf_counter() - start
+
+
+# ----------------------------------------------------------- parent side
+class ParallelEngine:
+    """Executes a run's unique cell tasks on ``runner.jobs`` worker processes."""
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    def execute(self, tasks: List[CellTask], on_cell: Optional[OnCell] = None) -> Dict[str, CellOutcome]:
+        """Materialise every task; returns ``digest -> CellOutcome``."""
+        on_cell = on_cell or (lambda task, outcome: None)
+        outcomes: Dict[str, CellOutcome] = {}
+
+        def finish(task: CellTask, outcome: CellOutcome) -> None:
+            outcomes[task.digest] = outcome
+            on_cell(task, outcome)
+
+        pending: List[CellTask] = []
+        for task in tasks:
+            value = self.runner.read_cell(task.kind, task.payload, task.digest)
+            if value is not None:
+                finish(task, CellOutcome(value, "hit", 0.0, task.n_shards))
+            else:
+                pending.append(task)
+        if not pending:
+            return outcomes
+
+        # claim each missing cell's digest lock; cells already being computed
+        # by another process are deferred and harvested from its artifact
+        owned: List[CellTask] = []
+        deferred: List[CellTask] = []
+        locks: Dict[str, FileLock] = {}
+        for task in pending:
+            if not self.runner.use_cache:
+                owned.append(task)
+                continue
+            lock = FileLock(self.runner.cell_lock_path(task.digest))
+            try:
+                lock.acquire(blocking=False)
+            except LockUnavailable:
+                deferred.append(task)
+                continue
+            value = self.runner.read_cell(task.kind, task.payload, task.digest)
+            if value is not None:  # published while we were acquiring
+                lock.release()
+                finish(task, CellOutcome(value, "hit", 0.0, task.n_shards))
+            else:
+                locks[task.digest] = lock
+                owned.append(task)
+        try:
+            if owned:
+                self._compute_owned(owned, locks, finish)
+        finally:
+            for lock in locks.values():
+                lock.release()
+        for task in deferred:
+            finish(task, self._collect_foreign(task))
+        return outcomes
+
+    # ------------------------------------------------------------ internals
+    def _compute_owned(
+        self, tasks: List[CellTask], locks: Dict[str, FileLock], finish: OnCell
+    ) -> None:
+        runner = self.runner
+        for task in tasks:  # resolve shared models once, before the fork
+            get_cell_kind(task.kind).warm(runner, task.payload)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        shard_values: Dict[str, List[Any]] = {t.digest: [None] * t.n_shards for t in tasks}
+        shard_left: Dict[str, int] = {t.digest: t.n_shards for t in tasks}
+        shard_seconds: Dict[str, float] = {t.digest: 0.0 for t in tasks}
+        by_digest = {t.digest: t for t in tasks}
+        workers = min(runner.jobs, sum(t.n_shards for t in tasks))
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(runner.fast, str(runner.cache_dir), runner.use_cache, runner.shard_size),
+        )
+        try:
+            futures: Dict[Future, Tuple[CellTask, int]] = {}
+            for task in tasks:  # already cost-ordered by ExecutionPlan.scheduled
+                for index in range(task.n_shards):
+                    futures[pool.submit(_run_shard, task.kind, task.payload, index)] = (task, index)
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, index = futures[future]
+                    try:
+                        value, seconds = future.result()
+                    except Exception as exc:
+                        raise CellExecutionError(
+                            f"{task.kind} cell {task.digest[:10]} shard {index} "
+                            f"(owner {task.owner}) failed: {exc}"
+                        ) from exc
+                    digest = task.digest
+                    shard_values[digest][index] = value
+                    shard_seconds[digest] += seconds
+                    shard_left[digest] -= 1
+                    if shard_left[digest] == 0:
+                        merged = runner.merge_cell(
+                            task.kind, task.payload, shard_values.pop(digest)
+                        )
+                        runner.write_cell(task.kind, digest, merged)
+                        lock = locks.pop(digest, None)
+                        if lock is not None:
+                            lock.release()
+                        finish(
+                            by_digest[digest],
+                            CellOutcome(merged, "computed", shard_seconds[digest], task.n_shards),
+                        )
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def _collect_foreign(self, task: CellTask) -> CellOutcome:
+        """Wait out another process computing ``task``, then read its artifact.
+
+        Blocks on the cell's digest lock (we hold no other locks by now, so
+        this cannot deadlock).  If the foreign process died without
+        publishing, fall back to computing the cell serially ourselves.
+        """
+        start = perf_counter()
+        with FileLock(self.runner.cell_lock_path(task.digest)):
+            value = self.runner.read_cell(task.kind, task.payload, task.digest)
+            if value is not None:
+                return CellOutcome(value, "hit", 0.0, task.n_shards)
+            value = self.runner.compute_cell(task.kind, task.payload)
+            self.runner.write_cell(task.kind, task.digest, value)
+            return CellOutcome(value, "computed", perf_counter() - start, task.n_shards)

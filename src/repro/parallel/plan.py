@@ -1,0 +1,106 @@
+"""Execution planning: resolve experiments into a deduplicated cell graph.
+
+Before anything runs, :func:`build_plan` walks every requested experiment's
+kind handler in *plan* mode and collects each grid cell it will need as a
+:class:`CellTask` keyed by the cell's content digest.  Sibling experiments
+that share cells (Figures 8/9 and 10/11 run the same white-box grid) collapse
+onto the same task, so each cell is computed exactly once per run no matter
+how many experiments reference it; the first referencing experiment *owns*
+the task for cache-accounting purposes.
+
+The plan is what both execution paths consume: the serial loop in
+:meth:`Runner.run_many` and the process pool in
+:class:`repro.parallel.engine.ParallelEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.pipeline.cells import CellRequest, get_cell_kind
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One unique grid cell to materialise (computed or loaded from cache)."""
+
+    kind: str
+    payload: Dict[str, Any]
+    digest: str
+    n_shards: int
+    owner: str  #: name of the first experiment referencing this cell
+    cost: float  #: scheduling weight; bigger tasks are dispatched first
+
+
+@dataclass
+class CellOutcome:
+    """How one cell was materialised."""
+
+    value: Any
+    status: str  # "hit" (cache) or "computed"
+    seconds: float = 0.0  # compute seconds (0 for hits); summed over shards
+    shards: int = 1
+
+
+@dataclass
+class ExperimentPlan:
+    """One experiment's slice of the run: its spec, handler and cell requests."""
+
+    spec: Any
+    handler: Any
+    requests: List[CellRequest] = field(default_factory=list)
+    digests: List[str] = field(default_factory=list)
+    legacy: bool = False  #: plain-function handler; executed cell-by-cell
+
+
+@dataclass
+class ExecutionPlan:
+    """The whole run: experiments in order plus the deduplicated task set."""
+
+    experiments: List[ExperimentPlan]
+    tasks: Dict[str, CellTask]  # digest -> task, insertion-ordered
+
+    def scheduled(self) -> List[CellTask]:
+        """Tasks in dispatch order: most expensive first (stable tie-break).
+
+        Long-pole cells start first so a pool is never left waiting on a
+        heavyweight straggler that was submitted last.
+        """
+        return sorted(self.tasks.values(), key=lambda task: -task.cost)
+
+
+def build_plan(runner, specs: List[Any]) -> ExecutionPlan:
+    """Plan ``specs`` against ``runner``'s configuration (fast flag, sharding).
+
+    Experiment kinds registered as plain functions (the pre-plan handler
+    protocol) are kept as *legacy* entries: they contribute no tasks and are
+    executed serially, cell by cell, at assembly time.
+    """
+    experiments: List[ExperimentPlan] = []
+    tasks: Dict[str, CellTask] = {}
+    for spec in specs:
+        handler = runner.kind_handler(spec.kind)
+        if not hasattr(handler, "plan"):
+            experiments.append(ExperimentPlan(spec=spec, handler=handler, legacy=True))
+            continue
+        requests = list(handler.plan(runner, spec))
+        digests = []
+        for request in requests:
+            digest = runner.cell_digest(request.kind, request.payload)
+            digests.append(digest)
+            if digest not in tasks:
+                kind = get_cell_kind(request.kind)
+                n_shards = kind.n_shards(request.payload)
+                tasks[digest] = CellTask(
+                    kind=request.kind,
+                    payload=request.payload,
+                    digest=digest,
+                    n_shards=n_shards,
+                    owner=spec.name,
+                    cost=float(n_shards),
+                )
+        experiments.append(
+            ExperimentPlan(spec=spec, handler=handler, requests=requests, digests=digests)
+        )
+    return ExecutionPlan(experiments=experiments, tasks=tasks)

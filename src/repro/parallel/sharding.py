@@ -1,0 +1,83 @@
+"""Deterministic sharding of a cell's victim samples.
+
+The expensive attack-evaluation cells (transferability / blackbox / whitebox)
+are decomposed into fixed-size *shards* of victim examples.  The shard layout
+and every shard's RNG seed depend only on the cell payload -- never on how
+many worker processes execute them -- so running the shards serially
+(``--jobs 1``) or spread over a pool (``--jobs N``) is bit-for-bit identical:
+the sharded decomposition *is* the canonical definition of the cell.
+
+Per-shard RNG seeds are spawned from the payload digest with
+``np.random.SeedSequence``: shard ``i`` uses ``SeedSequence(entropy,
+spawn_key=(i,))``, which is exactly the ``i``-th child
+``SeedSequence(entropy).spawn(n)`` would produce -- but constructible without
+knowing ``n``, so a shard's seed never depends on its siblings.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Tuple
+
+import numpy as np
+
+
+def resolve_jobs(jobs: Any) -> int:
+    """Normalise a ``--jobs`` value: ``"auto"``/``None``/``0`` -> CPU count.
+
+    The CPU count honours scheduler affinity (cgroup/container limits) where
+    the platform exposes it.
+    """
+    if jobs in (None, "auto", "", 0, "0"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    return max(1, int(jobs))
+
+#: victim examples per shard of an attack-evaluation cell.  Part of the cell
+#: protocol: changing it changes shard RNG streams (and therefore stochastic
+#: attack results), which is why the value is recorded in each cell payload.
+DEFAULT_SHARD_SIZE = 4
+
+
+def n_shards(n_samples: int, shard_size: int) -> int:
+    """Number of shards covering a budget of ``n_samples`` victim examples.
+
+    Computed from the *budget*, not from how many samples survive the
+    correctly-classified filter, so the shard layout is known at plan time
+    without resolving any model.  Trailing shards may come up empty; merges
+    treat them as zero-sample contributions.
+    """
+    if n_samples <= 0:
+        return 1
+    return max(1, math.ceil(n_samples / max(1, int(shard_size))))
+
+
+def shard_bounds(n_available: int, shard_size: int, shard_index: int) -> Tuple[int, int]:
+    """Half-open ``[lo, hi)`` sample range of one shard, clipped to availability."""
+    size = max(1, int(shard_size))
+    lo = min(n_available, shard_index * size)
+    hi = min(n_available, lo + size) if lo < n_available else lo
+    return lo, hi
+
+
+def shard_seed_sequence(payload: dict, shard_index: int) -> np.random.SeedSequence:
+    """The RNG root for shard ``shard_index`` of the cell described by ``payload``.
+
+    The entropy is derived from the canonical payload digest, so equal cells
+    get equal streams and any payload change (attack params, sample budget,
+    shard size) re-randomises every shard.
+    """
+    # imported lazily: this module must stay importable while repro.pipeline
+    # (whose spec module owns the canonical digest) is still initialising
+    from repro.pipeline.spec import canonical_digest
+
+    entropy = int(canonical_digest(payload)[:32], 16)
+    return np.random.SeedSequence(entropy=entropy, spawn_key=(int(shard_index),))
+
+
+def shard_seed(payload: dict, shard_index: int) -> int:
+    """A 32-bit integer seed for shard ``shard_index`` (fed to attack ``seed=``)."""
+    return int(shard_seed_sequence(payload, shard_index).generate_state(1)[0])

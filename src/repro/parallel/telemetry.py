@@ -1,0 +1,95 @@
+"""Per-run execution telemetry for the pipeline.
+
+One :class:`RunTelemetry` instance is created per :meth:`Runner.run` /
+:meth:`Runner.run_many` call (counters never accumulate across runs) and is
+fed one event per grid cell: cache hit or computed, wall time, shard count.
+The CLI renders the stream as progress lines and prints the summary; every
+:class:`~repro.pipeline.runner.ExperimentResult` embeds a snapshot under its
+``telemetry`` key.  All fields here are observability data -- determinism
+guarantees explicitly exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class CellEvent:
+    """One grid cell's execution record."""
+
+    kind: str
+    digest: str
+    status: str  # "hit" (artifact reused) or "computed"
+    seconds: float = 0.0
+    shards: int = 1
+    experiment: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "digest": self.digest[:12],
+            "status": self.status,
+            "seconds": round(self.seconds, 4),
+            "shards": self.shards,
+            "experiment": self.experiment,
+        }
+
+
+@dataclass
+class RunTelemetry:
+    """Counters and per-cell events for one pipeline run."""
+
+    jobs: int = 1
+    cells_total: int = 0
+    events: List[CellEvent] = field(default_factory=list)
+
+    def record(self, event: CellEvent) -> CellEvent:
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------- counters
+    @property
+    def cells_done(self) -> int:
+        return len(self.events)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.status == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for e in self.events if e.status == "computed")
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(e.seconds for e in self.events if e.status == "computed")
+
+    def progress_line(self, event: Optional[CellEvent] = None) -> str:
+        """Human-readable progress for one event against the run totals."""
+        event = event or (self.events[-1] if self.events else None)
+        total = self.cells_total or self.cells_done
+        if event is None:
+            return f"  cells: 0/{total}"
+        detail = (
+            f"{event.seconds:.2f}s" + (f", {event.shards} shards" if event.shards > 1 else "")
+            if event.status == "computed"
+            else "cached"
+        )
+        return (
+            f"  cell {self.cells_done}/{total} {event.kind} "
+            f"{event.digest[:10]}: {detail}"
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able summary embedded in experiment results."""
+        return {
+            "jobs": self.jobs,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "compute_seconds": round(self.compute_seconds, 4),
+            "cells": [e.to_dict() for e in self.events],
+        }

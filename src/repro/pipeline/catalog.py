@@ -52,11 +52,33 @@ def _entries(grid: Tuple[AttackGridEntry, ...], *labels: str) -> Tuple[AttackGri
 
 
 def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
-    """Add a spec to the catalog (``"experiment"`` registry)."""
+    """Add a spec to the catalog (``"experiment"`` registry).
+
+    The metadata records a rough *cell count* (attack grid entries x victim
+    variants) so tooling -- the CLI listing, the perf benchmark -- can reason
+    about an experiment's parallelisable width without resolving it.
+    """
+    width = max(1, len(spec.attacks)) * max(1, len(spec.variants))
     EXPERIMENTS.register(
-        spec.name, lambda spec=spec: spec, metadata={"title": spec.title, "kind": spec.kind}
+        spec.name,
+        lambda spec=spec: spec,
+        metadata={"title": spec.title, "kind": spec.kind, "cells": width},
     )
     return spec
+
+
+#: a cheap multi-cell workload for pipeline performance measurements: 12
+#: unique, independent grid cells under ``--fast`` (4 white-box + 6
+#: transferability + 2 noise profiles), nothing heavier than the fast digit
+#: model, and the two white-box experiments share their whole grid --
+#: exercising exactly the sharding, dedup and caching paths
+#: ``benchmarks/perf_pipeline.py`` times.
+FAST_PERF_SUBSET = (
+    "fig08_09_whitebox_l2",
+    "fig10_11_whitebox_psnr_mse",
+    "fig13_bfloat16_noise",
+    "table10_heap_transferability",
+)
 
 
 _SPECS = (

@@ -1,0 +1,489 @@
+"""Grid-cell computation, declaratively keyed by ``(cell_kind, payload)``.
+
+Historically each experiment-kind handler computed its grid cells in inline
+closures.  Closures cannot cross a process boundary, so this module turns
+every cell kind into a registry entry (namespace ``"cell-kind"``) whose
+computation is a plain function of ``(runner, payload)`` -- the payload alone
+fully describes the work, which is also why it doubles as the cache key.
+Workers of the :mod:`repro.parallel` engine receive nothing but the kind name
+and the payload and resolve models/attacks through their own registries.
+
+Sharding
+--------
+The expensive attack-evaluation kinds (``transferability``, ``blackbox``,
+``whitebox``) are decomposed over victim examples into fixed-size shards (see
+:mod:`repro.parallel.sharding`).  Each shard instantiates its own attack,
+seeded from the payload digest and the shard index via
+``np.random.SeedSequence`` spawning, and returns integer counts / per-sample
+statistics; :meth:`CellKind.merge` folds the ordered shard results into the
+cell value.  The serial path executes the *same* shards in the *same* order,
+so ``--jobs N`` is bit-for-bit identical to ``--jobs 1`` by construction.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.arith.error_metrics import ErrorProfile, profile_multiplier
+from repro.arith.fpm import MULTIPLIERS
+from repro.attacks.base import Attack, Classifier
+from repro.attacks.registry import ATTACKS
+from repro.core.confidence import compare_confidence
+from repro.core.evaluation import select_correctly_classified
+from repro.core.metrics import l2_distance, mse, psnr
+from repro.nn.approx import ApproxConv2d
+from repro.nn.layers import Conv2d
+from repro.nn.training import evaluate_accuracy
+from repro.parallel.sharding import n_shards as _shard_count
+from repro.parallel.sharding import shard_bounds, shard_seed
+from repro.pipeline.spec import ExperimentSpec
+from repro.registry import registry
+
+#: unified registry of cell computations (namespace ``"cell-kind"``)
+CELL_KINDS = registry("cell-kind")
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """One cell an experiment needs, tagged with the handler's assembly key."""
+
+    key: Any  #: hashable key the kind's ``assemble`` looks the value up under
+    kind: str  #: cell-kind registry name
+    payload: Dict[str, Any]  #: JSON-able content; fully determines the cell
+
+
+@dataclass(frozen=True)
+class CellKind:
+    """One cell kind: shard computation, merge and model warm-up."""
+
+    name: str
+    shard_fn: Callable[[Any, Dict[str, Any], int], Dict[str, Any]]
+    merge_fn: Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]
+    shards_fn: Callable[[Dict[str, Any]], int]
+    warm_fn: Optional[Callable[[Any, Dict[str, Any]], None]] = None
+
+    def n_shards(self, payload: Dict[str, Any]) -> int:
+        """How many shards the cell decomposes into (payload-determined)."""
+        return max(1, int(self.shards_fn(payload)))
+
+    def compute_shard(self, runner, payload: Dict[str, Any], shard_index: int) -> Dict[str, Any]:
+        """Compute one shard; safe to run in any process, in any order."""
+        return self.shard_fn(runner, payload, shard_index)
+
+    def merge(self, payload: Dict[str, Any], shards: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Fold ordered shard results into the cell value."""
+        return self.merge_fn(payload, shards)
+
+    def compute(self, runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The canonical (serial) cell computation: every shard, in order."""
+        shards = [
+            self.compute_shard(runner, payload, i) for i in range(self.n_shards(payload))
+        ]
+        return self.merge(payload, shards)
+
+    def warm(self, runner, payload: Dict[str, Any]) -> None:
+        """Resolve the models/LUTs the cell needs (pre-fork warm-up)."""
+        if self.warm_fn is not None:
+            self.warm_fn(runner, payload)
+
+
+def register_cell_kind(
+    name: str,
+    *,
+    compute: Optional[Callable[[Any, Dict[str, Any]], Dict[str, Any]]] = None,
+    shard: Optional[Callable[[Any, Dict[str, Any], int], Dict[str, Any]]] = None,
+    merge: Optional[Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]] = None,
+    shards: Optional[Callable[[Dict[str, Any]], int]] = None,
+    warm: Optional[Callable[[Any, Dict[str, Any]], None]] = None,
+) -> CellKind:
+    """Register a cell kind, either single-shot (``compute``) or sharded."""
+    if compute is not None:
+        kind = CellKind(
+            name=name,
+            shard_fn=lambda runner, payload, _index, _fn=compute: _fn(runner, payload),
+            merge_fn=lambda _payload, results: results[0],
+            shards_fn=lambda _payload: 1,
+            warm_fn=warm,
+        )
+    else:
+        if shard is None or merge is None or shards is None:
+            raise ValueError("sharded cell kinds need shard=, merge= and shards=")
+        kind = CellKind(name=name, shard_fn=shard, merge_fn=merge, shards_fn=shards, warm_fn=warm)
+    CELL_KINDS.register(name, kind, metadata={"sharded": compute is None})
+    return kind
+
+
+def get_cell_kind(name: str) -> CellKind:
+    """The :class:`CellKind` registered under ``name``."""
+    return CELL_KINDS.get(name).factory
+
+
+# --------------------------------------------------------------------- helpers
+def _payload_spec(payload: Dict[str, Any]) -> ExperimentSpec:
+    """A minimal spec carrying what model resolution needs from a payload."""
+    params = {}
+    if "dq_zoo" in payload:
+        params["dq_zoo"] = payload["dq_zoo"]
+    return ExperimentSpec(name="__cell__", kind="cell", model=payload.get("model", ""), params=params)
+
+
+def _seeded_attack(payload: Dict[str, Any], shard_index: int) -> Attack:
+    """Instantiate the payload's attack, seeding stochastic ones per shard.
+
+    The seed is spawned from the payload digest and the shard index, so it is
+    a pure function of cell content -- identical whether the shard runs in the
+    main process or a pool worker.  An explicit ``seed`` in the grid entry's
+    params wins (all shards then share it).
+    """
+    name = payload["attack"]
+    params = dict(payload.get("params", {}))
+    if "seed" not in params and _attack_accepts_seed(name):
+        params["seed"] = shard_seed(payload, shard_index)
+    return ATTACKS.create(name, **params)
+
+
+def _attack_accepts_seed(name: str) -> bool:
+    meta = ATTACKS.get(name).metadata
+    spec = meta.get("spec")
+    target = spec.attack_class if spec is not None else ATTACKS.get(name).factory
+    try:
+        return "seed" in inspect.signature(target).parameters
+    except (TypeError, ValueError):  # builtins / odd callables: assume no seed
+        return False
+
+
+#: per-process memo of victim-selection index sets.  Every shard of a cell
+#: needs the same selection; without the memo each shard would re-run the
+#: (expensive, emulated-hardware) prediction scan just to slice out its few
+#: victims.  Keyed by the selection's full identity -- the resolved models
+#: are fixed for a process lifetime, so the memo can never go stale.
+_SELECTION_CACHE: Dict[Any, np.ndarray] = {}
+
+
+def _shard_samples(
+    runner,
+    payload: Dict[str, Any],
+    classifier: Classifier,
+    shard_index: int,
+    selector_key: Any,
+):
+    """The shard's victim examples: correctly-classified, budget-capped, sliced.
+
+    The selection is identical in every shard (a deterministic prefix of the
+    test stream) and memoised per process under ``selector_key`` -- the first
+    shard a process computes pays for the capped prediction scan, its
+    siblings reuse the indices.
+    """
+    spec = _payload_spec(payload)
+    split = runner.split(spec)
+    key = (payload.get("model"), payload["n_samples"], bool(runner.fast), selector_key)
+    indices = _SELECTION_CACHE.get(key)
+    if indices is None:
+        indices = _SELECTION_CACHE[key] = select_correctly_classified(
+            classifier, split.test.images, split.test.labels, payload["n_samples"]
+        )
+    lo, hi = shard_bounds(len(indices), payload["shard_size"], shard_index)
+    picked = indices[lo:hi]
+    return split.test.images[picked], split.test.labels[picked]
+
+
+def _attack_shards(payload: Dict[str, Any]) -> int:
+    return _shard_count(payload["n_samples"], payload["shard_size"])
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def _mean(values: List[float]) -> float:
+    return float(np.mean(np.asarray(values, dtype=np.float64))) if values else float("nan")
+
+
+def _warm_model(runner, payload: Dict[str, Any], variants: List[str]) -> None:
+    """Resolve (train or load) the zoo models a cell depends on."""
+    if payload.get("model"):
+        runner.zoo(payload["model"])
+    if "dq_zoo" in payload and any(v.startswith("dq_") for v in variants):
+        runner.zoo(payload["dq_zoo"])
+
+
+# ------------------------------------------------------------- transferability
+def _transferability_shard(runner, payload: Dict[str, Any], shard_index: int) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    source = runner.classifier(spec, payload["source"])
+    selector = ("source", payload["source"], payload.get("dq_zoo"))
+    x, y = _shard_samples(runner, payload, source, shard_index, selector)
+    out: Dict[str, Any] = {
+        "n": int(len(x)),
+        "n_fooled": 0,
+        "targets": {name: 0 for name in payload["targets"]},
+    }
+    if not len(x):
+        return out
+    result = _seeded_attack(payload, shard_index).generate(source, x, y)
+    adv = result.adversarial[result.success]
+    adv_labels = y[result.success]
+    out["n_fooled"] = int(result.success.sum())
+    if len(adv):
+        for name in payload["targets"]:
+            preds = runner.classifier(spec, name).predict(adv)
+            out["targets"][name] = int(np.sum(preds != adv_labels))
+    return out
+
+
+def _transferability_merge(payload: Dict[str, Any], shards: List[Dict[str, Any]]) -> Dict[str, Any]:
+    n = sum(s["n"] for s in shards)
+    fooled = sum(s["n_fooled"] for s in shards)
+    return {
+        "n_crafted": n,
+        "n_source_success": fooled,
+        "source_success_rate": _ratio(fooled, n),
+        "targets": {
+            name: _ratio(sum(s["targets"][name] for s in shards), fooled)
+            for name in payload["targets"]
+        },
+    }
+
+
+register_cell_kind(
+    "transferability",
+    shard=_transferability_shard,
+    merge=_transferability_merge,
+    shards=_attack_shards,
+    warm=lambda runner, payload: _warm_model(runner, payload, list(payload["targets"])),
+)
+
+
+# ------------------------------------------------------------------- black box
+def _blackbox_shard(runner, payload: Dict[str, Any], shard_index: int) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    substitute = Classifier(runner.zoo(payload["substitute"], victim=payload["victim"]))
+    selector = ("substitute", payload["substitute"], payload["victim"])
+    x, y = _shard_samples(runner, payload, substitute, shard_index, selector)
+    out = {"n": int(len(x)), "n_fooled": 0, "n_victim_fooled": 0}
+    if not len(x):
+        return out
+    result = _seeded_attack(payload, shard_index).generate(substitute, x, y)
+    adv = result.adversarial[result.success]
+    adv_labels = y[result.success]
+    out["n_fooled"] = int(result.success.sum())
+    if len(adv):
+        victim = runner.classifier(spec, payload["victim"])
+        out["n_victim_fooled"] = int(np.sum(victim.predict(adv) != adv_labels))
+    return out
+
+
+def _blackbox_merge(payload: Dict[str, Any], shards: List[Dict[str, Any]]) -> Dict[str, Any]:
+    n = sum(s["n"] for s in shards)
+    fooled = sum(s["n_fooled"] for s in shards)
+    victim_fooled = sum(s["n_victim_fooled"] for s in shards)
+    return {
+        "n_crafted": n,
+        "substitute_success_rate": _ratio(fooled, n),
+        "victim_success_rate": _ratio(victim_fooled, fooled),
+    }
+
+
+def _blackbox_warm(runner, payload: Dict[str, Any]) -> None:
+    _warm_model(runner, payload, [payload["victim"]])
+    runner.zoo(payload["substitute"], victim=payload["victim"])
+
+
+register_cell_kind(
+    "blackbox",
+    shard=_blackbox_shard,
+    merge=_blackbox_merge,
+    shards=_attack_shards,
+    warm=_blackbox_warm,
+)
+
+
+# ------------------------------------------------------------------- white box
+def _whitebox_shard(runner, payload: Dict[str, Any], shard_index: int) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    victim = runner.classifier(spec, payload["victim"])
+    selector = ("victim", payload["victim"], payload.get("dq_zoo"))
+    x, y = _shard_samples(runner, payload, victim, shard_index, selector)
+    out: Dict[str, Any] = {"n": int(len(x)), "n_success": 0, "l2": [], "mse": [], "psnr": []}
+    if not len(x):
+        return out
+    result = _seeded_attack(payload, shard_index).generate(victim, x, y)
+    adv = result.adversarial[result.success]
+    clean = x[result.success]
+    out["n_success"] = int(result.success.sum())
+    if len(adv):
+        out["l2"] = [float(v) for v in l2_distance(clean, adv)]
+        out["mse"] = [float(v) for v in mse(clean, adv)]
+        out["psnr"] = [float(v) for v in psnr(clean, adv)]
+    return out
+
+
+def _whitebox_merge(payload: Dict[str, Any], shards: List[Dict[str, Any]]) -> Dict[str, Any]:
+    n = sum(s["n"] for s in shards)
+    successes = sum(s["n_success"] for s in shards)
+    return {
+        "n_samples": n,
+        "success_rate": _ratio(successes, n),
+        "mean_l2": _mean([v for s in shards for v in s["l2"]]),
+        "mean_mse": _mean([v for s in shards for v in s["mse"]]),
+        "mean_psnr": _mean([v for s in shards for v in s["psnr"]]),
+    }
+
+
+register_cell_kind(
+    "whitebox",
+    shard=_whitebox_shard,
+    merge=_whitebox_merge,
+    shards=_attack_shards,
+    warm=lambda runner, payload: _warm_model(runner, payload, [payload["victim"]]),
+)
+
+
+# -------------------------------------------------------------------- accuracy
+def _accuracy_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    variant_model = runner.resolve_variant(spec, payload["variant"])
+    _base, split = runner.zoo(payload["model"])
+    n = payload["n_samples"]
+    x, y = split.test.images[:n], split.test.labels[:n]
+    return {"accuracy": float(evaluate_accuracy(variant_model, x, y)), "n": len(x)}
+
+
+register_cell_kind(
+    "accuracy",
+    compute=_accuracy_compute,
+    warm=lambda runner, payload: _warm_model(runner, payload, [payload["variant"]]),
+)
+
+
+# --------------------------------------------------------------- noise profile
+def _profile_dict(profile: ErrorProfile) -> Dict[str, Any]:
+    """The JSON-able scalar fields of an :class:`ErrorProfile`."""
+    return {
+        "multiplier_name": profile.multiplier_name,
+        "n_samples": profile.n_samples,
+        "operand_low": profile.operand_low,
+        "operand_high": profile.operand_high,
+        "mred": profile.mred,
+        "nmed": profile.nmed,
+        "mean_error": profile.mean_error,
+        "mean_abs_error": profile.mean_abs_error,
+        "max_abs_error": profile.max_abs_error,
+        "fraction_magnitude_inflated": profile.fraction_magnitude_inflated,
+        "fraction_positive_error": profile.fraction_positive_error,
+        "error_magnitude_correlation": profile.error_magnitude_correlation,
+    }
+
+
+def _noise_profile_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    multiplier = MULTIPLIERS.create(payload["multiplier"], **payload.get("kwargs", {}))
+    return _profile_dict(
+        profile_multiplier(
+            multiplier,
+            n_samples=payload["n_samples"],
+            operand_range=tuple(payload["operand_range"]),
+        )
+    )
+
+
+register_cell_kind("noise_profile", compute=_noise_profile_compute)
+
+
+# --------------------------------------------------------- bespoke experiments
+def _conv_response_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    rng = np.random.default_rng(payload["seed"])
+    k = payload["kernel_size"]
+    kernel = rng.uniform(0.2, 0.9, size=(1, 1, k, k)).astype(np.float32)
+    exact = Conv2d(1, 1, k)
+    exact.weight.value = kernel
+    exact.bias.value = np.zeros(1, dtype=np.float32)
+    approx = ApproxConv2d.from_exact(exact, multiplier=MULTIPLIERS.create(payload["multiplier"]))
+    noise = rng.uniform(0.0, 1.0, size=(1, 1, k, k)).astype(np.float32)
+    points = []
+    for alpha in np.linspace(0.0, 1.0, payload["n_points"]):
+        image = ((1 - alpha) * noise + alpha * (kernel / kernel.max())).astype(np.float32)
+        exact_response = float(exact.forward(image)[0, 0, 0, 0])
+        approx_response = float(approx.forward(image)[0, 0, 0, 0])
+        points.append(
+            {
+                "similarity": float(alpha),
+                "exact": exact_response,
+                "approx": approx_response,
+                "gap": approx_response - exact_response,
+            }
+        )
+    return {"points": points}
+
+
+register_cell_kind("conv_response", compute=_conv_response_compute)
+
+
+def _confidence_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    split = runner.split(spec)
+    exact_model = runner.resolve_variant(spec, "exact")
+    approx_model = runner.resolve_variant(spec, "da")
+    subset = split.test.sample_per_class(payload["per_class"], rng=np.random.default_rng(0))
+    images, labels = subset.images, subset.labels
+    both_correct = np.flatnonzero(
+        (exact_model.predict(images) == labels) & (approx_model.predict(images) == labels)
+    )
+    comparison = compare_confidence(
+        exact_model, approx_model, images[both_correct], labels[both_correct]
+    )
+    exact_mean, approx_mean = comparison.mean_confidence()
+    fractions = {}
+    for threshold in payload["thresholds"]:
+        exact_frac, approx_frac = comparison.fraction_above(threshold)
+        fractions[str(threshold)] = [exact_frac, approx_frac]
+    return {
+        "n_samples": int(len(both_correct)),
+        "exact_mean": exact_mean,
+        "approx_mean": approx_mean,
+        "fractions": fractions,
+    }
+
+
+register_cell_kind(
+    "confidence",
+    compute=_confidence_compute,
+    warm=lambda runner, payload: _warm_model(runner, payload, ["exact", "da"]),
+)
+
+
+def _feature_maps_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    spec = _payload_spec(payload)
+    model = runner.resolve_variant(spec, payload["variant"])
+    split = runner.split(spec)
+    images = split.test.images[: payload["n_images"]]
+    last_conv_index = max(i for i, layer in enumerate(model.layers) if isinstance(layer, Conv2d))
+    out = images
+    for layer in model.layers[: last_conv_index + 2]:  # include the following ReLU
+        out = layer.forward(out)
+    active = out[out > 0]
+    return {
+        "mean_active": float(active.mean()) if active.size else 0.0,
+        "p90": float(np.percentile(out, 90)),
+        "max": float(out.max()),
+    }
+
+
+register_cell_kind(
+    "feature_maps",
+    compute=_feature_maps_compute,
+    warm=lambda runner, payload: _warm_model(runner, payload, [payload["variant"]]),
+)
+
+
+def _energy_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.hw import energy_delay_table, mantissa_energy_delay_table
+
+    table_fn = energy_delay_table if payload["table"] == "fpm" else mantissa_energy_delay_table
+    return {"rows": [[name, energy, delay] for name, energy, delay in table_fn()]}
+
+
+register_cell_kind("energy", compute=_energy_compute)

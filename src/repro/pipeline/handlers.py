@@ -1,35 +1,32 @@
 """Execution strategies for each experiment kind.
 
-Every paper experiment shape is one handler registered in the
-``"experiment-kind"`` registry.  A handler receives the
-:class:`~repro.pipeline.runner.Runner` (for registry resolution, sample
-budgets and cell caching) and the :class:`~repro.pipeline.spec.ExperimentSpec`
-and returns ``(headers, rows, metrics)``: the paper-style table plus a
-JSON-able metrics tree that the benchmarks assert against.
+Every paper experiment shape is one :class:`KindHandler` registered in the
+``"experiment-kind"`` registry.  A handler is a *plan/assemble* pair:
 
-Grid cells are cached by *content* through :meth:`Runner.cell`, so sibling
-experiments that share work (Figures 8/9 and 10/11 run the same white-box
-grid) recompute nothing.
+* ``plan(runner, spec)`` enumerates the grid cells the experiment needs as
+  :class:`~repro.pipeline.cells.CellRequest` entries -- pure payload
+  construction, no model is resolved and nothing is computed;
+* ``assemble(runner, spec, cells)`` turns the materialised cell values back
+  into ``(headers, rows, metrics)``: the paper-style table plus a JSON-able
+  metrics tree that the benchmarks assert against.
+
+The split is what the :mod:`repro.parallel` engine schedules against: all
+experiments' cells are planned up front, deduplicated by content digest
+(Figures 8/9 and 10/11 run the same white-box grid and recompute nothing) and
+computed serially or on the worker pool; the actual cell computations live in
+:mod:`repro.pipeline.cells`.  A plain function registered as an experiment
+kind (the historical protocol) still works -- it executes serially through
+:meth:`Runner.cell`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.arith.error_metrics import ErrorProfile, profile_multiplier
-from repro.arith.fpm import MULTIPLIERS
-from repro.core.confidence import compare_confidence
-from repro.core.evaluation import (
-    evaluate_black_box,
-    evaluate_transferability,
-    evaluate_white_box,
-)
-from repro.attacks.base import Classifier
-from repro.nn.approx import ApproxConv2d
-from repro.nn.layers import Conv2d
-from repro.nn.training import evaluate_accuracy
+from repro.pipeline.cells import CellRequest
 from repro.pipeline.runner import (
     EXPERIMENT_KINDS,
     Runner,
@@ -39,68 +36,62 @@ from repro.pipeline.runner import (
 from repro.pipeline.spec import ExperimentSpec
 
 Handler = Tuple[List[str], List[List[Any]], Dict[str, Any]]
+PlanFn = Callable[[Runner, ExperimentSpec], List[CellRequest]]
+AssembleFn = Callable[[Runner, ExperimentSpec, Dict[Any, Any]], Handler]
 
 
-def _profile_dict(profile: ErrorProfile) -> Dict[str, Any]:
-    """The JSON-able scalar fields of an :class:`ErrorProfile`."""
-    return {
-        "multiplier_name": profile.multiplier_name,
-        "n_samples": profile.n_samples,
-        "operand_low": profile.operand_low,
-        "operand_high": profile.operand_high,
-        "mred": profile.mred,
-        "nmed": profile.nmed,
-        "mean_error": profile.mean_error,
-        "mean_abs_error": profile.mean_abs_error,
-        "max_abs_error": profile.max_abs_error,
-        "fraction_magnitude_inflated": profile.fraction_magnitude_inflated,
-        "fraction_positive_error": profile.fraction_positive_error,
-        "error_magnitude_correlation": profile.error_magnitude_correlation,
-    }
+@dataclass(frozen=True)
+class KindHandler:
+    """Plan/assemble pair for one experiment kind.
+
+    Calling the handler directly executes the experiment serially (plan,
+    compute each cell through :meth:`Runner.cell`, assemble) -- the
+    compatibility path for code that invokes a kind's factory by hand.
+    """
+
+    plan: PlanFn
+    assemble: AssembleFn
+
+    def __call__(self, runner: Runner, spec: ExperimentSpec) -> Handler:
+        cells = {req.key: runner.cell(req.kind, req.payload) for req in self.plan(runner, spec)}
+        return self.assemble(runner, spec, cells)
+
+
+def register_kind(name: str, plan: PlanFn, assemble: AssembleFn) -> KindHandler:
+    """Register an experiment kind from its plan/assemble pair."""
+    handler = KindHandler(plan=plan, assemble=assemble)
+    EXPERIMENT_KINDS.register(name, handler, metadata={"planned": True})
+    return handler
 
 
 # ------------------------------------------------------------ attack grids
-@EXPERIMENT_KINDS.register("transferability")
-def run_transferability(runner: Runner, spec: ExperimentSpec) -> Handler:
-    """Craft on the source variant, replay on every target variant."""
-    n = runner.sample_budget(spec)
+def _attack_payload(runner: Runner, spec: ExperimentSpec, entry) -> Dict[str, Any]:
+    """The payload fields shared by all attack-evaluation cells."""
+    return {
+        "model": spec.model,
+        "attack": entry.attack,
+        "params": runner.attack_params(entry),
+        "n_samples": runner.sample_budget(spec),
+        "shard_size": runner.shard_size,
+    }
 
-    # models/splits resolve lazily inside the compute closures so a fully
-    # cell-cached run never loads (or trains) them
-    cells: Dict[str, Dict[str, Any]] = {}
+
+def plan_transferability(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
+    """One cell per attack: craft on the source, replay on every target."""
+    requests = []
     for entry in spec.attacks:
-        payload = {
-            "model": spec.model,
-            "source": spec.source,
-            "targets": list(spec.variants),
-            "attack": entry.attack,
-            "params": runner.attack_params(entry),
-            "n_samples": n,
-        }
+        payload = _attack_payload(runner, spec, entry)
+        payload["source"] = spec.source
+        payload["targets"] = list(spec.variants)
         if any(v.startswith("dq_") for v in spec.variants):
             payload["dq_zoo"] = spec.params.get("dq_zoo", "dq_objects")
+        requests.append(CellRequest(entry.label, "transferability", payload))
+    return requests
 
-        def compute(entry=entry) -> Dict[str, Any]:
-            split = runner.split(spec)
-            source = runner.classifier(spec, spec.source)
-            targets = {name: runner.classifier(spec, name) for name in spec.variants}
-            evaluation = evaluate_transferability(
-                source,
-                targets,
-                runner.attack(entry),
-                split.test.images,
-                split.test.labels,
-                max_samples=n,
-            )
-            return {
-                "n_crafted": evaluation.n_crafted,
-                "n_source_success": evaluation.n_source_success,
-                "source_success_rate": evaluation.source_success_rate,
-                "targets": evaluation.target_success_rates,
-            }
 
-        cells[entry.label] = runner.cell("transferability", payload, compute)
-
+def assemble_transferability(
+    runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]
+) -> Handler:
     headers = list(
         spec.params.get("headers") or ["Attack method"] + variant_labels(spec, spec.variants)
     )
@@ -112,62 +103,47 @@ def run_transferability(runner: Runner, spec: ExperimentSpec) -> Handler:
         v: float(np.mean([cells[e.label]["targets"][v] for e in spec.attacks]))
         for v in spec.variants
     }
-    return headers, rows, {"attacks": cells, "mean_target_success": mean_success}
+    named_cells = {e.label: cells[e.label] for e in spec.attacks}
+    return headers, rows, {"attacks": named_cells, "mean_target_success": mean_success}
 
 
-@EXPERIMENT_KINDS.register("blackbox")
-def run_blackbox(runner: Runner, spec: ExperimentSpec) -> Handler:
-    """Craft on a query-trained substitute, replay on the victim variant."""
-    n = runner.sample_budget(spec)
+register_kind("transferability", plan_transferability, assemble_transferability)
+
+
+def plan_blackbox(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
+    """One cell per attack x victim: craft on a substitute, replay on the victim."""
     substitute_zoo = spec.params.get("substitute", "substitute_digits")
-
-    cells: Dict[str, Dict[str, Any]] = {}
+    requests = []
     for entry in spec.attacks:
-        per_victim: Dict[str, Any] = {}
         for victim_name in spec.variants:
-            payload = {
-                "model": spec.model,
-                "victim": victim_name,
-                "substitute": substitute_zoo,
-                "attack": entry.attack,
-                "params": runner.attack_params(entry),
-                "n_samples": n,
-            }
+            payload = _attack_payload(runner, spec, entry)
+            payload["victim"] = victim_name
+            payload["substitute"] = substitute_zoo
+            requests.append(CellRequest((entry.label, victim_name), "blackbox", payload))
+    return requests
 
-            def compute(entry=entry, victim_name=victim_name) -> Dict[str, Any]:
-                split = runner.split(spec)
-                victim = runner.classifier(spec, victim_name)
-                substitute = runner.zoo(substitute_zoo, victim=victim_name)
-                evaluation = evaluate_black_box(
-                    victim,
-                    Classifier(substitute),
-                    runner.attack(entry),
-                    split.test.images,
-                    split.test.labels,
-                    max_samples=n,
-                )
-                return {
-                    "n_crafted": evaluation.n_crafted,
-                    "substitute_success_rate": evaluation.substitute_success_rate,
-                    "victim_success_rate": evaluation.victim_success_rate,
-                }
 
-            per_victim[victim_name] = runner.cell("blackbox", payload, compute)
-        cells[entry.label] = per_victim
-
+def assemble_blackbox(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    nested = {
+        entry.label: {v: cells[(entry.label, v)] for v in spec.variants}
+        for entry in spec.attacks
+    }
     headers = list(
         spec.params.get("headers") or ["Attack method"] + variant_labels(spec, spec.variants)
     )
     rows = [
         [entry.label]
-        + [percentage(cells[entry.label][v]["victim_success_rate"]) for v in spec.variants]
+        + [percentage(nested[entry.label][v]["victim_success_rate"]) for v in spec.variants]
         for entry in spec.attacks
     ]
     mean_success = {
-        v: float(np.mean([cells[e.label][v]["victim_success_rate"] for e in spec.attacks]))
+        v: float(np.mean([nested[e.label][v]["victim_success_rate"] for e in spec.attacks]))
         for v in spec.variants
     }
-    return headers, rows, {"attacks": cells, "mean_victim_success": mean_success}
+    return headers, rows, {"attacks": nested, "mean_victim_success": mean_success}
+
+
+register_kind("blackbox", plan_blackbox, assemble_blackbox)
 
 
 _WHITEBOX_COLUMNS = {
@@ -178,94 +154,73 @@ _WHITEBOX_COLUMNS = {
 }
 
 
-@EXPERIMENT_KINDS.register("whitebox")
-def run_whitebox(runner: Runner, spec: ExperimentSpec) -> Handler:
-    """Attack each victim variant directly; report the noise budget needed."""
-    n = runner.sample_budget(spec)
-    columns = list(spec.params.get("columns", ("success", "l2")))
-
-    cells: Dict[str, Dict[str, Any]] = {}
+def plan_whitebox(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
+    """One cell per attack x victim: attack the victim directly."""
+    requests = []
     for entry in spec.attacks:
-        per_victim: Dict[str, Any] = {}
         for victim_name in spec.variants:
-            payload = {
-                "model": spec.model,
-                "victim": victim_name,
-                "attack": entry.attack,
-                "params": runner.attack_params(entry),
-                "n_samples": n,
-            }
+            payload = _attack_payload(runner, spec, entry)
+            payload["victim"] = victim_name
+            requests.append(CellRequest((entry.label, victim_name), "whitebox", payload))
+    return requests
 
-            def compute(entry=entry, victim_name=victim_name) -> Dict[str, Any]:
-                split = runner.split(spec)
-                evaluation = evaluate_white_box(
-                    runner.classifier(spec, victim_name),
-                    runner.attack(entry),
-                    split.test.images,
-                    split.test.labels,
-                    max_samples=n,
-                    victim_name=victim_name,
-                )
-                return {
-                    "n_samples": evaluation.n_samples,
-                    "success_rate": evaluation.success_rate,
-                    "mean_l2": evaluation.mean_l2,
-                    "mean_mse": evaluation.mean_mse,
-                    "mean_psnr": evaluation.mean_psnr,
-                }
 
-            per_victim[victim_name] = runner.cell("whitebox", payload, compute)
-        cells[entry.label] = per_victim
-
+def assemble_whitebox(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    columns = list(spec.params.get("columns", ("success", "l2")))
+    nested = {
+        entry.label: {v: cells[(entry.label, v)] for v in spec.variants}
+        for entry in spec.attacks
+    }
     labels = dict(zip(spec.variants, variant_labels(spec, spec.variants)))
     headers = ["Attack", "Victim"] + [_WHITEBOX_COLUMNS[c][0] for c in columns]
     rows = [
         [entry.label, labels[v]]
-        + [_WHITEBOX_COLUMNS[c][1](cells[entry.label][v]) for c in columns]
+        + [_WHITEBOX_COLUMNS[c][1](nested[entry.label][v]) for c in columns]
         for entry in spec.attacks
         for v in spec.variants
     ]
-    return headers, rows, {"attacks": cells}
+    return headers, rows, {"attacks": nested}
+
+
+register_kind("whitebox", plan_whitebox, assemble_whitebox)
 
 
 # --------------------------------------------------------------- accuracies
-def _accuracy_cell(runner: Runner, spec: ExperimentSpec, model_key: str, variant: str, n: int):
-    payload = {"model": model_key, "variant": variant, "n_samples": n}
+def _accuracy_request(
+    spec: ExperimentSpec, key: Any, model_key: str, variant: str, n: int
+) -> CellRequest:
+    payload: Dict[str, Any] = {"model": model_key, "variant": variant, "n_samples": n}
     if variant.startswith("dq_"):
         payload["dq_zoo"] = spec.params.get("dq_zoo", "dq_objects")
-
-    def compute() -> Dict[str, Any]:
-        model_spec = spec.replace(model=model_key)
-        variant_model = runner.resolve_variant(model_spec, variant)
-        _base, split = runner.zoo(model_key)
-        x, y = split.test.images[:n], split.test.labels[:n]
-        return {"accuracy": float(evaluate_accuracy(variant_model, x, y)), "n": len(x)}
-
-    return runner.cell("accuracy", payload, compute)
+    return CellRequest(key, "accuracy", payload)
 
 
-@EXPERIMENT_KINDS.register("accuracy")
-def run_accuracy(runner: Runner, spec: ExperimentSpec) -> Handler:
+def plan_accuracy(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Clean accuracy of hardware variants across datasets (Table 6 shape).
 
     ``spec.params["columns"]``: list of ``{key, label, model, variants,
     n_samples}``; ``spec.params["rows"]``: list of ``{label, variant}``.
     """
-    columns = spec.params["columns"]
-    row_defs = spec.params["rows"]
+    requests = []
+    for col in spec.params["columns"]:
+        n = col["n_samples"] if not runner.fast else min(col["n_samples"], 50)
+        for variant in col["variants"]:
+            key = (col.get("key", col["label"]), variant)
+            requests.append(_accuracy_request(spec, key, col["model"], variant, n))
+    return requests
 
+
+def assemble_accuracy(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    columns = spec.params["columns"]
     metrics: Dict[str, Dict[str, float]] = {}
     for col in columns:
-        n = col["n_samples"] if not runner.fast else min(col["n_samples"], 50)
-        per_variant: Dict[str, float] = {}
-        for variant in col["variants"]:
-            cell = _accuracy_cell(runner, spec, col["model"], variant, n)
-            per_variant[variant] = cell["accuracy"]
-        metrics[col.get("key", col["label"])] = per_variant
-
+        col_key = col.get("key", col["label"])
+        metrics[col_key] = {
+            variant: cells[(col_key, variant)]["accuracy"] for variant in col["variants"]
+        }
     headers = ["Used multiplier"] + [col["label"] for col in columns]
     rows = []
-    for row_def in row_defs:
+    for row_def in spec.params["rows"]:
         row: List[Any] = [row_def["label"]]
         for col in columns:
             acc = metrics[col.get("key", col["label"])].get(row_def["variant"])
@@ -274,8 +229,10 @@ def run_accuracy(runner: Runner, spec: ExperimentSpec) -> Handler:
     return headers, rows, {"accuracy": metrics}
 
 
-@EXPERIMENT_KINDS.register("multiplier_accuracy")
-def run_multiplier_accuracy(runner: Runner, spec: ExperimentSpec) -> Handler:
+register_kind("accuracy", plan_accuracy, assemble_accuracy)
+
+
+def plan_multiplier_accuracy(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Multiplier error metrics next to CNN clean accuracy (Table 8 shape).
 
     ``spec.params["rows"]``: list of ``{label, variant, profile}`` where
@@ -285,35 +242,45 @@ def run_multiplier_accuracy(runner: Runner, spec: ExperimentSpec) -> Handler:
     profile_samples = spec.params.get("profile_samples", 100_000)
     if runner.fast:
         profile_samples = min(profile_samples, 20_000)
+    requests = []
+    for row_def in spec.params["rows"]:
+        label, variant, mult = row_def["label"], row_def["variant"], row_def.get("profile")
+        requests.append(_accuracy_request(spec, ("acc", label), spec.model, variant, n))
+        if mult is not None:
+            payload = {
+                "multiplier": mult,
+                "n_samples": profile_samples,
+                "operand_range": [-1.0, 1.0],
+            }
+            requests.append(CellRequest(("profile", label), "noise_profile", payload))
+    return requests
 
+
+def assemble_multiplier_accuracy(
+    runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]
+) -> Handler:
     accuracies: Dict[str, float] = {}
     profiles: Dict[str, Dict[str, Any]] = {}
     rows: List[List[Any]] = []
     for row_def in spec.params["rows"]:
-        label, variant, mult = row_def["label"], row_def["variant"], row_def.get("profile")
-        acc = _accuracy_cell(runner, spec, spec.model, variant, n)["accuracy"]
+        label = row_def["label"]
+        acc = cells[("acc", label)]["accuracy"]
         accuracies[label] = acc
-        if mult is None:
+        if row_def.get("profile") is None:
             rows.append([label, f"{100 * acc:.2f}%", 0.0, 0.0])
             continue
-        payload = {"multiplier": mult, "n_samples": profile_samples, "operand_range": [-1.0, 1.0]}
-
-        def compute(mult=mult) -> Dict[str, Any]:
-            return _profile_dict(
-                profile_multiplier(MULTIPLIERS.create(mult), n_samples=profile_samples)
-            )
-
-        profile = runner.cell("noise_profile", payload, compute)
+        profile = cells[("profile", label)]
         profiles[label] = profile
         rows.append([label, f"{100 * acc:.2f}%", profile["mred"], profile["nmed"]])
-
     headers = ["Multiplier", "CNN Accuracy", "MRED", "NMED"]
     return headers, rows, {"accuracy": accuracies, "profiles": profiles}
 
 
+register_kind("multiplier_accuracy", plan_multiplier_accuracy, assemble_multiplier_accuracy)
+
+
 # ------------------------------------------------------------ noise profiles
-@EXPERIMENT_KINDS.register("noise_profile")
-def run_noise_profile(runner: Runner, spec: ExperimentSpec) -> Handler:
+def plan_noise_profile(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Operand-sampled multiplier noise characterisation (Figures 3/13/15).
 
     ``spec.params["multipliers"]``: list of ``{label, name, kwargs}``;
@@ -323,26 +290,21 @@ def run_noise_profile(runner: Runner, spec: ExperimentSpec) -> Handler:
     n_samples = spec.params.get("n_samples", 100_000)
     if runner.fast:
         n_samples = min(n_samples, 20_000)
-    operand_range = tuple(spec.params.get("operand_range", (-1.0, 1.0)))
-
-    profiles: Dict[str, Dict[str, Any]] = {}
+    operand_range = list(spec.params.get("operand_range", (-1.0, 1.0)))
+    requests = []
     for mult_def in spec.params["multipliers"]:
-        kwargs = dict(mult_def.get("kwargs", {}))
         payload = {
             "multiplier": mult_def["name"],
-            "kwargs": kwargs,
+            "kwargs": dict(mult_def.get("kwargs", {})),
             "n_samples": n_samples,
-            "operand_range": list(operand_range),
+            "operand_range": operand_range,
         }
+        requests.append(CellRequest(mult_def["label"], "noise_profile", payload))
+    return requests
 
-        def compute(mult_def=mult_def, kwargs=kwargs) -> Dict[str, Any]:
-            multiplier = MULTIPLIERS.create(mult_def["name"], **kwargs)
-            return _profile_dict(
-                profile_multiplier(multiplier, n_samples=n_samples, operand_range=operand_range)
-            )
 
-        profiles[mult_def["label"]] = runner.cell("noise_profile", payload, compute)
-
+def assemble_noise_profile(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    profiles = {mult_def["label"]: cells[mult_def["label"]] for mult_def in spec.params["multipliers"]}
     if len(profiles) == 1:
         (label, profile), = profiles.items()
         headers = ["quantity", "value"]
@@ -373,45 +335,24 @@ def run_noise_profile(runner: Runner, spec: ExperimentSpec) -> Handler:
     return headers, rows, {"profiles": profiles}
 
 
+register_kind("noise_profile", plan_noise_profile, assemble_noise_profile)
+
+
 # ------------------------------------------------------- bespoke experiments
-@EXPERIMENT_KINDS.register("conv_response")
-def run_conv_response(runner: Runner, spec: ExperimentSpec) -> Handler:
+def plan_conv_response(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Exact vs approximate convolution response vs input/filter similarity
     (Figure 4)."""
-    params = {
+    payload = {
         "multiplier": spec.params.get("multiplier", "axfpm"),
         "kernel_size": spec.params.get("kernel_size", 4),
         "n_points": spec.params.get("n_points", 6),
         "seed": spec.params.get("seed", 0),
     }
+    return [CellRequest("cell", "conv_response", payload)]
 
-    def compute() -> Dict[str, Any]:
-        rng = np.random.default_rng(params["seed"])
-        k = params["kernel_size"]
-        kernel = rng.uniform(0.2, 0.9, size=(1, 1, k, k)).astype(np.float32)
-        exact = Conv2d(1, 1, k)
-        exact.weight.value = kernel
-        exact.bias.value = np.zeros(1, dtype=np.float32)
-        approx = ApproxConv2d.from_exact(
-            exact, multiplier=MULTIPLIERS.create(params["multiplier"])
-        )
-        noise = rng.uniform(0.0, 1.0, size=(1, 1, k, k)).astype(np.float32)
-        points = []
-        for alpha in np.linspace(0.0, 1.0, params["n_points"]):
-            image = ((1 - alpha) * noise + alpha * (kernel / kernel.max())).astype(np.float32)
-            exact_response = float(exact.forward(image)[0, 0, 0, 0])
-            approx_response = float(approx.forward(image)[0, 0, 0, 0])
-            points.append(
-                {
-                    "similarity": float(alpha),
-                    "exact": exact_response,
-                    "approx": approx_response,
-                    "gap": approx_response - exact_response,
-                }
-            )
-        return {"points": points}
 
-    cell = runner.cell("conv_response", params, compute)
+def assemble_conv_response(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    cell = cells["cell"]
     headers = ["input", "exact conv", "approx conv", "gap"]
     rows = [
         [
@@ -426,40 +367,22 @@ def run_conv_response(runner: Runner, spec: ExperimentSpec) -> Handler:
     return headers, rows, {"points": cell["points"], "gaps": gaps}
 
 
-@EXPERIMENT_KINDS.register("confidence")
-def run_confidence(runner: Runner, spec: ExperimentSpec) -> Handler:
+register_kind("conv_response", plan_conv_response, assemble_conv_response)
+
+
+def plan_confidence(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Classification-confidence comparison, exact vs DA (Figure 12)."""
     per_class = spec.params.get("per_class", 10)
     if runner.fast:
         per_class = min(per_class, 4)
     thresholds = list(spec.params.get("thresholds", (0.5, 0.8, 0.9, 0.95)))
     payload = {"model": spec.model, "per_class": per_class, "thresholds": thresholds}
+    return [CellRequest("cell", "confidence", payload)]
 
-    def compute() -> Dict[str, Any]:
-        split = runner.split(spec)
-        exact_model = runner.resolve_variant(spec, "exact")
-        approx_model = runner.resolve_variant(spec, "da")
-        subset = split.test.sample_per_class(per_class, rng=np.random.default_rng(0))
-        images, labels = subset.images, subset.labels
-        both_correct = np.flatnonzero(
-            (exact_model.predict(images) == labels) & (approx_model.predict(images) == labels)
-        )
-        comparison = compare_confidence(
-            exact_model, approx_model, images[both_correct], labels[both_correct]
-        )
-        exact_mean, approx_mean = comparison.mean_confidence()
-        fractions = {}
-        for threshold in thresholds:
-            exact_frac, approx_frac = comparison.fraction_above(threshold)
-            fractions[str(threshold)] = [exact_frac, approx_frac]
-        return {
-            "n_samples": int(len(both_correct)),
-            "exact_mean": exact_mean,
-            "approx_mean": approx_mean,
-            "fractions": fractions,
-        }
 
-    cell = runner.cell("confidence", payload, compute)
+def assemble_confidence(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    cell = cells["cell"]
+    thresholds = list(spec.params.get("thresholds", (0.5, 0.8, 0.9, 0.95)))
     headers = ["quantity", "exact classifier", "approximate classifier"]
     rows: List[List[Any]] = [["mean confidence", cell["exact_mean"], cell["approx_mean"]]]
     for threshold in thresholds:
@@ -468,55 +391,49 @@ def run_confidence(runner: Runner, spec: ExperimentSpec) -> Handler:
     return headers, rows, cell
 
 
-@EXPERIMENT_KINDS.register("feature_maps")
-def run_feature_maps(runner: Runner, spec: ExperimentSpec) -> Handler:
+register_kind("confidence", plan_confidence, assemble_confidence)
+
+
+def plan_feature_maps(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Final convolution-layer feature-map statistics per variant (Figure 16)."""
     n_images = spec.params.get("n_images", 16)
     if runner.fast:
         n_images = min(n_images, 4)
-
-    def feature_stats(variant: str) -> Dict[str, Any]:
-        model = runner.resolve_variant(spec, variant)
-        split = runner.split(spec)
-        images = split.test.images[:n_images]
-        last_conv_index = max(
-            i for i, layer in enumerate(model.layers) if isinstance(layer, Conv2d)
+    return [
+        CellRequest(
+            variant,
+            "feature_maps",
+            {"model": spec.model, "variant": variant, "n_images": n_images},
         )
-        out = images
-        for layer in model.layers[: last_conv_index + 2]:  # include the following ReLU
-            out = layer.forward(out)
-        active = out[out > 0]
-        return {
-            "mean_active": float(active.mean()) if active.size else 0.0,
-            "p90": float(np.percentile(out, 90)),
-            "max": float(out.max()),
-        }
+        for variant in spec.variants
+    ]
 
+
+def assemble_feature_maps(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
     labels = dict(zip(spec.variants, variant_labels(spec, spec.variants)))
-    stats: Dict[str, Dict[str, Any]] = {}
-    rows = []
-    for variant in spec.variants:
-        payload = {"model": spec.model, "variant": variant, "n_images": n_images}
-        cell = runner.cell("feature_maps", payload, lambda variant=variant: feature_stats(variant))
-        stats[variant] = cell
-        rows.append([labels[variant], cell["mean_active"], cell["p90"], cell["max"]])
+    stats = {variant: cells[variant] for variant in spec.variants}
+    rows = [
+        [labels[variant], cells[variant]["mean_active"], cells[variant]["p90"], cells[variant]["max"]]
+        for variant in spec.variants
+    ]
     headers = ["Multiplier", "Mean active response", "90th percentile", "Max"]
     return headers, rows, {"stats": stats}
 
 
-@EXPERIMENT_KINDS.register("energy")
-def run_energy(runner: Runner, spec: ExperimentSpec) -> Handler:
+register_kind("feature_maps", plan_feature_maps, assemble_feature_maps)
+
+
+def plan_energy(runner: Runner, spec: ExperimentSpec) -> List[CellRequest]:
     """Analytical energy/delay cost tables (Tables 7 and 9)."""
-    which = spec.params.get("table", "fpm")
+    return [CellRequest("cell", "energy", {"table": spec.params.get("table", "fpm")})]
 
-    def compute() -> Dict[str, Any]:
-        from repro.hw import energy_delay_table, mantissa_energy_delay_table
 
-        table_fn = energy_delay_table if which == "fpm" else mantissa_energy_delay_table
-        return {"rows": [[name, energy, delay] for name, energy, delay in table_fn()]}
-
-    cell = runner.cell("energy", {"table": which}, compute)
+def assemble_energy(runner: Runner, spec: ExperimentSpec, cells: Dict[Any, Any]) -> Handler:
+    cell = cells["cell"]
     headers = ["Multiplier", "Average energy", "Average delay"]
     rows = [list(row) for row in cell["rows"]]
     by_name = {name: {"energy": energy, "delay": delay} for name, energy, delay in cell["rows"]}
     return headers, rows, {"by_name": by_name}
+
+
+register_kind("energy", plan_energy, assemble_energy)

@@ -8,17 +8,22 @@ behind ``python -m repro run``.  It
   experiment kinds),
 * memoises trained models in-process (the zoo already caches parameters on
   disk, so across processes only the first run trains),
-* caches every grid cell (one attack evaluated against one set of victims) as
-  a JSON artifact under the zoo cache directory, keyed by the cell's resolved
-  content -- re-running an experiment, or a sibling experiment that shares
-  cells (Figures 8/9 and 10/11 share their white-box runs), is a cache hit,
-* emits an :class:`ExperimentResult` carrying the paper-style text table plus
-  machine-readable metrics, and can persist both as
-  ``results/<name>.txt`` / ``results/<name>.json``.
+* plans each run as a deduplicated graph of grid cells
+  (:mod:`repro.parallel.plan`): sibling experiments that share cells
+  (Figures 8/9 and 10/11 share their white-box runs) compute each cell
+  exactly once per run and hit its cached JSON artifact forever after,
+* executes the cells serially or -- with ``jobs > 1`` -- on the sharded
+  process pool of :mod:`repro.parallel.engine`, bit-for-bit identically
+  (per-shard RNG seeds are spawned from cell content, never from the worker
+  layout),
+* emits an :class:`ExperimentResult` carrying the paper-style text table,
+  machine-readable metrics and the run's cell telemetry, and can persist both
+  as ``results/<name>.txt`` / ``results/<name>.json`` (written atomically).
 
 Experiment *kinds* (transferability, blackbox, whitebox, accuracy, ...) are
 themselves registry entries, so a new scenario shape can be plugged in without
-touching this module (see :mod:`repro.pipeline.handlers`).
+touching this module (see :mod:`repro.pipeline.handlers`); the cell
+computations they schedule live in :mod:`repro.pipeline.cells`.
 """
 
 from __future__ import annotations
@@ -35,6 +40,10 @@ from repro.attacks.registry import ATTACKS
 from repro.core.results import format_table
 from repro.experiments.zoo import CACHE_DIR, ZOO
 from repro.nn.models import VARIANTS
+from repro.parallel.locks import FileLock, atomic_write_json, atomic_write_text
+from repro.parallel.sharding import DEFAULT_SHARD_SIZE, resolve_jobs
+from repro.parallel.telemetry import CellEvent, RunTelemetry
+from repro.pipeline.cells import get_cell_kind
 from repro.pipeline.spec import AttackGridEntry, ExperimentSpec, canonical_digest
 from repro.registry import registry
 
@@ -48,8 +57,9 @@ EXPERIMENT_KINDS = registry("experiment-kind")
 #: the package version, so a release that changes attack/evaluation behaviour
 #: invalidates stale artifacts automatically; within a development cycle, use
 #: ``use_cache=False`` / ``--no-cache`` / ``REPRO_PIPELINE_NO_CACHE=1`` after
-#: behavioural changes.
-CELL_CACHE_VERSION = 1
+#: behavioural changes.  Version 2: attack-evaluation cells became sharded
+#: with per-shard ``SeedSequence``-spawned attack seeds.
+CELL_CACHE_VERSION = 2
 
 #: attack sample budget applied by ``--fast``
 FAST_MAX_SAMPLES = 4
@@ -80,6 +90,7 @@ class ExperimentResult:
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def table(self) -> str:
@@ -97,18 +108,30 @@ class ExperimentResult:
             "metrics": _jsonable(self.metrics),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "telemetry": _jsonable(self.telemetry),
             "spec": _jsonable(self.spec),
         }
 
     def write(self, results_dir: Union[str, Path]) -> Tuple[Path, Path]:
-        """Persist ``<name>.txt`` (table) and ``<name>.json`` (full result)."""
+        """Persist ``<name>.txt`` (table) and ``<name>.json`` (full result).
+
+        Both files are written atomically (tmp + rename), so concurrent runs
+        sharing a results directory never expose truncated artifacts.
+        """
         results_dir = Path(results_dir)
-        results_dir.mkdir(parents=True, exist_ok=True)
         txt_path = results_dir / f"{self.name}.txt"
         json_path = results_dir / f"{self.name}.json"
-        txt_path.write_text(self.table + "\n")
-        json_path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        atomic_write_text(txt_path, self.table + "\n")
+        atomic_write_text(
+            json_path, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
         return txt_path, json_path
+
+
+#: the result fields that may legitimately differ between two executions of
+#: the same experiment (observability data); everything else is covered by
+#: the ``--jobs N`` == ``--jobs 1`` determinism guarantee
+NONDETERMINISTIC_RESULT_FIELDS = ("cache", "elapsed_seconds", "telemetry")
 
 
 def _jsonable(value: Any) -> Any:
@@ -136,8 +159,11 @@ _VARIANT_CACHE: Dict[Any, Any] = {}
 
 def clear_model_caches() -> None:
     """Drop the in-process model memos (tests / memory pressure)."""
+    from repro.pipeline.cells import _SELECTION_CACHE
+
     _ZOO_CACHE.clear()
     _VARIANT_CACHE.clear()
+    _SELECTION_CACHE.clear()  # victim selections are tied to the memoised models
 
 
 class Runner:
@@ -156,6 +182,13 @@ class Runner:
         Disable to force recomputation of every grid cell.
     progress:
         Optional callable receiving human-readable progress lines.
+    jobs:
+        Worker processes for cell execution: an integer, or ``"auto"`` for
+        the CPU count.  ``jobs=1`` (the default) executes serially in this
+        process; any value produces bit-for-bit identical results.
+    shard_size:
+        Victim examples per shard of the attack-evaluation cells.  Part of
+        the cell cache key -- changing it re-randomises stochastic attacks.
     """
 
     def __init__(
@@ -165,6 +198,8 @@ class Runner:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         progress: Optional[Callable[[str], None]] = None,
+        jobs: Union[int, str, None] = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ):
         self.fast = bool(fast)
         self.results_dir = Path(results_dir) if results_dir is not None else None
@@ -173,20 +208,119 @@ class Runner:
             use_cache = False
         self.use_cache = bool(use_cache)
         self.progress = progress
+        self.jobs = resolve_jobs(jobs)
+        self.shard_size = max(1, int(shard_size))
+        # per-run counters; reset at the start of every run()/run_many()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.telemetry = RunTelemetry(jobs=self.jobs)
 
     # ------------------------------------------------------------------- run
     def run(self, experiment: Union[str, ExperimentSpec]) -> ExperimentResult:
         """Execute one experiment (by catalog name or as an explicit spec)."""
-        spec = self._resolve_spec(experiment)
-        handler_entry = EXPERIMENT_KINDS.get(spec.kind)
-        self._log(f"[{spec.name}] kind={spec.kind} fast={self.fast}")
-        hits_before, misses_before = self.cache_hits, self.cache_misses
+        return self.run_many([experiment])[0]
+
+    def run_many(
+        self,
+        experiments: Sequence[Union[str, ExperimentSpec]],
+        on_result: Optional[Callable[[ExperimentResult], None]] = None,
+    ) -> List[ExperimentResult]:
+        """Execute several experiments as one planned run.
+
+        All experiments' grid cells are planned and deduplicated up front, so
+        cells shared between experiments are computed exactly once; with
+        ``jobs > 1`` the unique cells (and their shards) spread across the
+        worker pool.  ``on_result`` is invoked as each experiment's result is
+        assembled (catalog order).
+        """
+        from repro.parallel.plan import build_plan
+
+        specs = [self._resolve_spec(e) for e in experiments]
+        self.telemetry = RunTelemetry(jobs=self.jobs)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        plan = build_plan(self, specs)
+        self.telemetry.cells_total = len(plan.tasks)
+        for eplan in plan.experiments:
+            self._log(
+                f"[{eplan.spec.name}] kind={eplan.spec.kind} fast={self.fast} "
+                f"cells={len(eplan.requests)} jobs={self.jobs}"
+            )
+        outcomes = self._compute_cells(plan)
+        results = []
+        for eplan in plan.experiments:
+            result = self._assemble(eplan, plan, outcomes)
+            if self.results_dir is not None:
+                result.write(self.results_dir)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------- plan execution
+    def kind_handler(self, kind: str):
+        """The registered handler for an experiment kind (plan/assemble pair)."""
+        return EXPERIMENT_KINDS.get(kind).factory
+
+    def _compute_cells(self, plan) -> Dict[str, Any]:
+        """Materialise every unique planned cell; returns digest -> outcome."""
+        from repro.parallel.plan import CellOutcome  # noqa: F401 (typing aid)
+
+        tasks = plan.scheduled()
+        outcomes: Dict[str, Any] = {}
+
+        def record(task, outcome) -> None:
+            event = self.telemetry.record(
+                CellEvent(
+                    kind=task.kind,
+                    digest=task.digest,
+                    status=outcome.status,
+                    seconds=outcome.seconds,
+                    shards=outcome.shards,
+                    experiment=task.owner,
+                )
+            )
+            self._log(self.telemetry.progress_line(event))
+
+        if not tasks:
+            return outcomes
+        if self.jobs > 1:
+            from repro.parallel.engine import ParallelEngine
+
+            outcomes = ParallelEngine(self).execute(tasks, on_cell=record)
+        else:
+            for task in tasks:
+                outcome = self._execute_cell(task.kind, task.payload, task.digest)
+                outcomes[task.digest] = outcome
+                record(task, outcome)
+        self.cache_hits += sum(1 for o in outcomes.values() if o.status == "hit")
+        self.cache_misses += sum(1 for o in outcomes.values() if o.status == "computed")
+        return outcomes
+
+    def _assemble(self, eplan, plan, outcomes) -> ExperimentResult:
+        """Build one experiment's result from its materialised cells."""
+        spec = eplan.spec
         start = time.perf_counter()
-        headers, rows, metrics = handler_entry.factory(self, spec)
-        elapsed = time.perf_counter() - start
-        result = ExperimentResult(
+        if eplan.legacy:
+            # pre-plan handler protocol: a plain function computing its own
+            # cells through Runner.cell (which updates the run counters)
+            hits_before, misses_before = self.cache_hits, self.cache_misses
+            headers, rows, metrics = eplan.handler(self, spec)
+            hits = self.cache_hits - hits_before
+            misses = self.cache_misses - misses_before
+            compute_seconds = 0.0
+            events = []
+        else:
+            cells = {
+                request.key: outcomes[digest].value
+                for request, digest in zip(eplan.requests, eplan.digests)
+            }
+            headers, rows, metrics = eplan.handler.assemble(self, spec, cells)
+            hits, misses, compute_seconds = self._attribute(eplan, plan, outcomes)
+            referenced = set(eplan.digests)
+            events = [e.to_dict() for e in self.telemetry.events if e.digest in referenced]
+        elapsed = (time.perf_counter() - start) + compute_seconds
+        return ExperimentResult(
             name=spec.name,
             title=spec.title,
             kind=spec.kind,
@@ -195,13 +329,33 @@ class Runner:
             rows=[list(row) for row in rows],
             metrics=metrics,
             spec=spec.to_dict(),
-            cache_hits=self.cache_hits - hits_before,
-            cache_misses=self.cache_misses - misses_before,
+            cache_hits=hits,
+            cache_misses=misses,
             elapsed_seconds=elapsed,
+            telemetry={"jobs": self.jobs, "cells": events},
         )
-        if self.results_dir is not None:
-            result.write(self.results_dir)
-        return result
+
+    def _attribute(self, eplan, plan, outcomes) -> Tuple[int, int, float]:
+        """Per-experiment cache accounting over the run's shared cell graph.
+
+        A cell computed this run counts as a miss only for the experiment
+        that owns it (first referencing experiment, once); every other
+        reference -- later experiments, repeated requests -- is a hit, which
+        matches what a serial unshared execution would have observed.
+        """
+        hits = misses = 0
+        compute_seconds = 0.0
+        counted = set()
+        for digest in eplan.digests:
+            task, result = plan.tasks[digest], outcomes[digest]
+            first = digest not in counted
+            counted.add(digest)
+            if result.status == "computed" and task.owner == eplan.spec.name and first:
+                misses += 1
+                compute_seconds += result.seconds
+            else:
+                hits += 1
+        return hits, misses, compute_seconds
 
     @staticmethod
     def _resolve_spec(experiment: Union[str, ExperimentSpec]) -> ExperimentSpec:
@@ -271,22 +425,17 @@ class Runner:
         return min(n, FAST_MAX_SAMPLES) if self.fast else n
 
     # ------------------------------------------------------- cell artifacts
-    def cell(
-        self,
-        cell_kind: str,
-        payload: Dict[str, Any],
-        compute: Callable[[], Dict[str, Any]],
-    ) -> Dict[str, Any]:
-        """Compute one grid cell, caching its JSON artifact on disk.
+    def cell_digest(self, cell_kind: str, payload: Dict[str, Any]) -> str:
+        """The cell's content-derived cache key.
 
-        ``payload`` must fully determine the cell's result: it is hashed into
-        the cache key together with the cell kind, the fast flag and
+        ``payload`` must fully determine the cell's result: it is hashed
+        together with the cell kind, the fast flag, the package version and
         :data:`CELL_CACHE_VERSION`.  Cells are keyed by *content*, not by
         experiment name, so experiments that share work share artifacts.
         """
         import repro
 
-        digest = canonical_digest(
+        return canonical_digest(
             {
                 "cell_kind": cell_kind,
                 "fast": self.fast,
@@ -295,21 +444,96 @@ class Runner:
                 "payload": _jsonable(payload),
             }
         )
-        path = self.cache_dir / cell_kind / f"{digest}.json"
-        if self.use_cache and path.exists():
+
+    def cell_path(self, cell_kind: str, digest: str) -> Path:
+        """Where the cell's JSON artifact lives."""
+        return self.cache_dir / cell_kind / f"{digest}.json"
+
+    def cell_lock_path(self, digest: str) -> Path:
+        """The advisory lock guarding the cell's computation."""
+        return self.cache_dir / "locks" / f"{digest}.lock"
+
+    def read_cell(self, cell_kind: str, payload: Dict[str, Any], digest: str) -> Optional[Any]:
+        """The cached cell value, or ``None`` (cache off / absent / corrupt)."""
+        if not self.use_cache:
+            return None
+        path = self.cell_path(cell_kind, digest)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
             try:
-                value = json.loads(path.read_text())
-                self.cache_hits += 1
-                return value
-            except (ValueError, OSError):
                 path.unlink()
-        self._log(f"  cell: computing {cell_kind} {digest[:10]}")
-        value = _jsonable(compute())
+            except OSError:
+                pass
+            return None
+
+    def write_cell(self, cell_kind: str, digest: str, value: Any) -> None:
+        """Publish a computed cell value atomically (no-op with cache off)."""
         if self.use_cache:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(value, sort_keys=True))
-        self.cache_misses += 1
-        return value
+            atomic_write_json(self.cell_path(cell_kind, digest), value, sort_keys=True)
+
+    def compute_cell(self, cell_kind: str, payload: Dict[str, Any]) -> Any:
+        """Compute a cell in-process through its registered kind (no cache IO)."""
+        return _jsonable(get_cell_kind(cell_kind).compute(self, payload))
+
+    def merge_cell(self, cell_kind: str, payload: Dict[str, Any], shards: List[Any]) -> Any:
+        """Fold ordered shard results into the published cell value."""
+        return _jsonable(get_cell_kind(cell_kind).merge(payload, shards))
+
+    def _execute_cell(self, cell_kind: str, payload: Dict[str, Any], digest: str, compute=None):
+        """Materialise one cell under its advisory lock (serial path).
+
+        The lock makes concurrent processes sharing the cache directory
+        cooperate: whoever takes the lock first computes, everyone else
+        blocks briefly and then reads the published artifact.
+        """
+        from repro.parallel.plan import CellOutcome
+
+        kind = None if compute is not None else get_cell_kind(cell_kind)
+        shards = 1 if kind is None else kind.n_shards(payload)
+        value = self.read_cell(cell_kind, payload, digest)
+        if value is not None:
+            return CellOutcome(value, "hit", 0.0, shards)
+
+        def produce() -> Any:
+            self._log(f"  cell: computing {cell_kind} {digest[:10]}")
+            if compute is not None:
+                return _jsonable(compute())
+            return self.compute_cell(cell_kind, payload)
+
+        start = time.perf_counter()
+        if not self.use_cache:
+            return CellOutcome(produce(), "computed", time.perf_counter() - start, shards)
+        with FileLock(self.cell_lock_path(digest)):
+            value = self.read_cell(cell_kind, payload, digest)
+            if value is not None:  # another process published while we waited
+                return CellOutcome(value, "hit", time.perf_counter() - start, shards)
+            value = produce()
+            self.write_cell(cell_kind, digest, value)
+        return CellOutcome(value, "computed", time.perf_counter() - start, shards)
+
+    def cell(
+        self,
+        cell_kind: str,
+        payload: Dict[str, Any],
+        compute: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """Compute one grid cell, caching its JSON artifact on disk.
+
+        With ``compute=None`` the computation is resolved from the
+        ``"cell-kind"`` registry (:mod:`repro.pipeline.cells`); passing an
+        explicit closure is the legacy protocol still used by plain-function
+        experiment kinds.
+        """
+        digest = self.cell_digest(cell_kind, payload)
+        outcome = self._execute_cell(cell_kind, payload, digest, compute)
+        if outcome.status == "hit":
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return outcome.value
 
 
 # ------------------------------------------------------------------ helpers

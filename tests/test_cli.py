@@ -40,6 +40,29 @@ def test_run_writes_results(tmp_path, capsys):
     assert payload["metrics"]["by_name"]["Exact multiplier"] == {"energy": 1.0, "delay": 1.0}
 
 
+def test_run_with_jobs_flag_spawns_the_pool(tmp_path, capsys):
+    results_dir = tmp_path / "results"
+    code = main(
+        [
+            "run",
+            "table07_energy_delay",
+            "--fast",
+            "--no-cache",
+            "--jobs",
+            "2",
+            "--quiet",
+            "--results-dir",
+            str(results_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run summary" in out and "2 worker(s)" in out
+    payload = json.loads((results_dir / "table07_energy_delay.json").read_text())
+    assert payload["telemetry"]["jobs"] == 2
+    assert payload["metrics"]["by_name"]["Exact multiplier"] == {"energy": 1.0, "delay": 1.0}
+
+
 def test_unknown_experiment_is_a_clean_error(capsys):
     assert main(["run", "no_such_experiment"]) == 2
     err = capsys.readouterr().err
