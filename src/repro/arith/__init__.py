@@ -15,6 +15,11 @@ gate level up:
   Bfloat16 multiplier.
 * :mod:`repro.arith.error_metrics` -- MRED / NMED and noise-profile utilities
   used by Figures 3, 13, 15 and Table 8.
+* :mod:`repro.arith.kernels` -- fused approximate-GEMM kernels: precomposed
+  signed-significand product tables, cached weight decompositions and
+  K-blocked in-place accumulation behind
+  :meth:`~repro.arith.fpm.Multiplier.make_gemm_kernel`, the engine of the
+  approximate layers' forward passes.
 """
 
 from repro.arith.adders import (
@@ -35,6 +40,14 @@ from repro.arith.float_format import (
     bfloat16_truncate,
     compose_float32,
     decompose_float32,
+    operand_codes,
+)
+from repro.arith.kernels import (
+    KERNEL_STATS,
+    FallbackGemmKernel,
+    FusedLutGemmKernel,
+    GemmKernel,
+    signed_product_table,
 )
 from repro.arith.fpm import (
     AxFPM,
@@ -66,6 +79,12 @@ __all__ = [
     "decompose_float32",
     "compose_float32",
     "bfloat16_truncate",
+    "operand_codes",
+    "GemmKernel",
+    "FallbackGemmKernel",
+    "FusedLutGemmKernel",
+    "KERNEL_STATS",
+    "signed_product_table",
     "Multiplier",
     "ExactMultiplier",
     "AxFPM",

@@ -190,12 +190,29 @@ class ArrayMultiplier:
         product = (accum.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
         return product.reshape(shape)
 
+    def lut_dtype(self) -> np.dtype:
+        """Smallest unsigned dtype that can hold any product of this array.
+
+        Products carry at most ``2 * n_bits + 1`` bits (the paper's array
+        leaves one extra carry weight), so the exhaustive LUT never needs the
+        ``uint64`` the cell-level simulator computes in: ``uint16`` suffices
+        up to 7-bit operands and ``uint32`` covers everything a LUT is built
+        for (``n_bits <= 12``), halving (or quartering) both the table's
+        resident size and the gather bandwidth of LUT-accelerated emulation.
+        """
+        if 2 * self.n_bits + 1 <= 16:
+            return np.dtype(np.uint16)
+        if 2 * self.n_bits + 1 <= 32:
+            return np.dtype(np.uint32)
+        return np.dtype(np.uint64)
+
     def build_lut(self) -> np.ndarray:
         """Exhaustively tabulate the multiplier as a ``(2**n, 2**n)`` table.
 
         The table is indexed as ``lut[a, b]`` and is what
         :class:`repro.arith.fpm.AxFPM` uses to accelerate whole-network
         emulation.  Only practical for small widths (``n_bits <= 12``).
+        Stored in the smallest sufficient unsigned dtype (:meth:`lut_dtype`).
         """
         if self.n_bits > 12:
             raise ValueError(
@@ -205,7 +222,8 @@ class ArrayMultiplier:
         aa, bb = np.meshgrid(
             np.arange(size, dtype=np.uint64), np.arange(size, dtype=np.uint64), indexing="ij"
         )
-        return self.multiply(aa.ravel(), bb.ravel()).reshape(size, size)
+        products = self.multiply(aa.ravel(), bb.ravel()).reshape(size, size)
+        return products.astype(self.lut_dtype(), copy=False)
 
     # ------------------------------------------------------------ internals
     @staticmethod

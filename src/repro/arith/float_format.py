@@ -106,6 +106,37 @@ def compose_float32(
     return value.astype(np.float32)
 
 
+def operand_code_side(frac_bits: int) -> int:
+    """Number of distinct operand codes produced by :func:`operand_codes`."""
+    return 2 * (1 << frac_bits) + 1
+
+
+def operand_codes(x: np.ndarray, frac_bits: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Pack sign and significand into a single per-operand gather code.
+
+    The fused GEMM kernels (:mod:`repro.arith.kernels`) index their
+    precomposed signed-significand product tables with these codes, so one
+    gather returns the already-signed float32 mantissa product.  The layout
+    for ``frac_bits = f`` (``H = 2**f``):
+
+    * ``[0, H)``      -- positive normals, ``significand - H``;
+    * ``[H, 2*H)``    -- negative normals, ``(significand - H) | H``;
+    * ``2*H``         -- all zeros (and flushed subnormals), sign discarded,
+      matching the hardware model's unsigned zero flush.
+
+    Returns ``(codes, exponents)`` as ``int32`` arrays of ``x``'s shape;
+    exponents are the unbiased values from :func:`decompose_float32` (0 for
+    zeros, 128 for inf/NaN encodings).
+    """
+    fields = decompose_float32(x, frac_bits=frac_bits)
+    half = np.int32(1 << frac_bits)
+    codes = (fields.significand.astype(np.int32) - half) | (
+        fields.sign.astype(np.int32) << np.int32(frac_bits)
+    )
+    codes = np.where(fields.is_zero, np.int32(2) * half, codes)
+    return codes.astype(np.int32, copy=False), fields.exponent.astype(np.int32, copy=False)
+
+
 def bfloat16_truncate(x: np.ndarray) -> np.ndarray:
     """Truncate float32 values to the bfloat16 format (1 sign, 8 exp, 7 frac).
 

@@ -65,6 +65,18 @@ class Multiplier(ABC):
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise product of ``a`` and ``b`` under this hardware model."""
 
+    def make_gemm_kernel(self):
+        """A fresh GEMM engine for one layer (see :mod:`repro.arith.kernels`).
+
+        The base implementation wraps :meth:`multiply` in the generic
+        :class:`~repro.arith.kernels.FallbackGemmKernel`, so every multiplier
+        -- including custom ones -- supports the capability; designs with an
+        exhaustive mantissa LUT override this with the fused engine.
+        """
+        from repro.arith.kernels import FallbackGemmKernel
+
+        return FallbackGemmKernel(self)
+
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self.multiply(a, b)
 
@@ -168,6 +180,18 @@ class ApproxFPM(Multiplier):
         result = np.where(is_zero, np.float32(0.0), result)
         return result.astype(np.float32)
 
+    def make_gemm_kernel(self):
+        """The fused LUT-driven GEMM engine when this design is tabulated.
+
+        Falls back to the generic multiply-wrapping kernel for widths beyond
+        :data:`LUT_MAX_FRAC_BITS` (gate-level simulation stays authoritative).
+        """
+        if not self.use_lut:
+            return super().make_gemm_kernel()
+        from repro.arith.kernels import FusedLutGemmKernel
+
+        return FusedLutGemmKernel(self)
+
     # ------------------------------------------------------------ internals
     def _mantissa_product(self, sa: np.ndarray, sb: np.ndarray) -> np.ndarray:
         if self.use_lut:
@@ -176,18 +200,26 @@ class ApproxFPM(Multiplier):
         sa_b, sb_b = np.broadcast_arrays(sa, sb)
         return self.mantissa_multiplier.multiply(sa_b, sb_b)
 
+    def _lut_cache_key(self) -> Optional[Tuple[str, int, str]]:
+        """Process-wide identity of this design's exhaustive mantissa LUT.
+
+        ``None`` for custom :class:`CellPolicy` subclasses: only the built-in
+        policies have parameter-complete ``describe()`` strings, so anything
+        else gets per-instance tables instead of (possibly wrong) shared ones.
+        The fused GEMM kernels key their derived signed-product tables by the
+        same identity.
+        """
+        policy = self.mantissa_multiplier.policy
+        if type(policy) not in (UniformCellPolicy, HeterogeneousCellPolicy):
+            return None
+        return (policy.describe(), self.mantissa_multiplier.n_bits, self.mantissa_multiplier.port_a)
+
     def _get_lut(self) -> np.ndarray:
         if self._lut is None:
-            policy = self.mantissa_multiplier.policy
-            # only the built-in policies have parameter-complete describe()
-            # strings; a custom CellPolicy subclass may not encode its own
-            # configuration, so it gets a per-instance LUT instead of a
-            # (possibly wrong) shared one
-            cacheable = type(policy) in (UniformCellPolicy, HeterogeneousCellPolicy)
-            if not cacheable:
+            key = self._lut_cache_key()
+            if key is None:
                 self._lut = self.mantissa_multiplier.build_lut()
                 return self._lut
-            key = (policy.describe(), self.mantissa_multiplier.n_bits, self.mantissa_multiplier.port_a)
             lut = _LUT_CACHE.get(key)
             if lut is None:
                 lut = self.mantissa_multiplier.build_lut()

@@ -136,6 +136,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({telemetry.cache_hits} cached, {telemetry.cache_misses} computed, "
         f"{telemetry.compute_seconds:.1f}s compute) on {runner.jobs} worker(s)"
     )
+    kernels = telemetry.snapshot().get("kernels", {})
+    if kernels.get("fused_calls") or kernels.get("fallback_calls"):
+        print(
+            f"# gemm kernels: {kernels['fused_calls']} fused / "
+            f"{kernels['fallback_calls']} fallback calls, "
+            f"{kernels['fused_macs'] / 1e6:.1f}M fused MACs, "
+            f"{kernels['weight_cache_hits']} weight-cache hits"
+        )
     return 0
 
 

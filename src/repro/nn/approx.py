@@ -6,6 +6,18 @@ exact pre-trained weights but every elementwise product of the forward pass is
 computed by a :class:`repro.arith.fpm.Multiplier` (Ax-FPM by default).
 Additions stay exact, as in the paper (only the multiplier is approximated).
 
+Execution
+---------
+Both layers drive their multiply-accumulate through the fused approximate-GEMM
+engine (:mod:`repro.arith.kernels`), obtained once per layer via the
+capability API :meth:`~repro.arith.fpm.Multiplier.make_gemm_kernel`.  For
+LUT-tabulated designs this replaces the historical per-call decompose /
+broadcast-gather / ``np.ldexp`` pipeline with precomposed signed-product
+tables, a cached weight decomposition (keyed by the parameter's version
+counter) and K-blocked in-place accumulation -- bit-for-bit identical outputs,
+several times faster.  Multipliers without a LUT transparently fall back to a
+kernel wrapping plain ``multiply``.
+
 Gradients
 ---------
 The approximate datapath is a non-differentiable gate-level circuit.  For
@@ -18,7 +30,7 @@ attacker differentiates the emulated circuit.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -27,7 +39,37 @@ from repro.nn import functional as F
 from repro.nn.layers import Conv2d, Linear, Module, Parameter
 
 
-class ApproxConv2d(Conv2d):
+class _KernelHolder:
+    """Mixin managing a layer's GEMM kernel (rebuilt if the multiplier swaps)."""
+
+    multiplier: Multiplier
+
+    def _kernel(self):
+        cached = getattr(self, "_gemm_kernel", None)
+        if cached is None or cached.multiplier is not self.multiplier:
+            cached = self._gemm_kernel = self.multiplier.make_gemm_kernel()
+        return cached
+
+    @property
+    def gemm_kernel(self):
+        """The layer's approximate-GEMM engine (one per layer, lazily built)."""
+        return self._kernel()
+
+
+def prime_gemm_kernels(model) -> None:
+    """Eagerly build the GEMM kernels of a model's approximate layers.
+
+    Kernel construction resolves the multiplier's mantissa LUT and the derived
+    signed-product table into their process-level caches; priming a model in a
+    pipeline parent before its worker pool forks lets every worker inherit the
+    tables copy-on-write instead of re-tabulating the gate-level array.
+    """
+    for layer in getattr(model, "layers", []):
+        if isinstance(layer, _KernelHolder):
+            layer.gemm_kernel  # noqa: B018 -- property access builds the kernel
+
+
+class ApproxConv2d(_KernelHolder, Conv2d):
     """Convolution layer whose multiply-accumulate uses an approximate multiplier.
 
     Parameters
@@ -35,8 +77,8 @@ class ApproxConv2d(Conv2d):
     multiplier:
         Hardware multiplier model.  Defaults to a fresh :class:`AxFPM`.
     batch_chunk:
-        Maximum number of images processed per chunk; bounds the memory of the
-        intermediate ``(chunk, F, K, L)`` product tensor.
+        Maximum number of images processed per chunk; bounds the memory of
+        the kernel's per-chunk working set.
     """
 
     def __init__(
@@ -56,6 +98,7 @@ class ApproxConv2d(Conv2d):
         )
         self.multiplier = multiplier if multiplier is not None else AxFPM()
         self.batch_chunk = int(batch_chunk)
+        self._gemm_kernel = None
 
     @classmethod
     def from_exact(
@@ -88,23 +131,19 @@ class ApproxConv2d(Conv2d):
         self._cache = (cols, x.shape)
         w_mat = self.weight.value.reshape(f, -1)  # (F, K)
 
-        out_h = F.conv_output_size(h, k, self.stride, self.padding)
-        out_w = F.conv_output_size(w, k, self.stride, self.padding)
-        l = out_h * out_w
+        out_h, out_w, l = F.conv_geometry(h, w, k, self.stride, self.padding)
         out = np.empty((n, f, l), dtype=np.float32)
+        kernel = self.gemm_kernel
+        version = self.weight.version
         chunk = max(1, self.batch_chunk)
         for start in range(0, n, chunk):
             stop = min(n, start + chunk)
-            # (chunk, F, K, L) elementwise products through the hardware model.
-            # The activation patch drives the multiplicand port and the weight
+            # the activation patch drives the multiplicand port and the weight
             # drives the multiplier port of the array multiplier; with the
             # AMA5 array this is the operand assignment that keeps the clean
             # accuracy of the approximate classifier closest to the exact one
             # (see DESIGN.md, "Key design decisions").
-            products = self.multiplier.multiply(
-                cols[start:stop, np.newaxis, :, :], w_mat[np.newaxis, :, :, np.newaxis]
-            )
-            out[start:stop] = products.sum(axis=2, dtype=np.float32)
+            out[start:stop] = kernel(cols[start:stop], w_mat, weight_version=version)
         out += self.bias.value.reshape(1, f, 1)
         return out.reshape(n, f, out_h, out_w).astype(np.float32)
 
@@ -117,11 +156,21 @@ class ApproxConv2d(Conv2d):
         )
 
 
-class ApproxLinear(Linear):
+class ApproxLinear(_KernelHolder, Linear):
     """Dense layer whose products run through an approximate multiplier.
 
     The paper confines the approximation to convolution layers; this layer is
     provided for completeness and for the design-space exploration ablations.
+
+    Parameters
+    ----------
+    batch_chunk:
+        Maximum batch rows per kernel call.
+    out_chunk:
+        Maximum output features per kernel call.  Together the two chunks
+        bound the per-call working set at roughly
+        ``batch_chunk * out_chunk * in_features`` products, so wide layers no
+        longer materialise a full ``(batch, out, in)`` intermediate.
     """
 
     def __init__(
@@ -130,16 +179,23 @@ class ApproxLinear(Linear):
         out_features: int,
         multiplier: Optional[Multiplier] = None,
         batch_chunk: int = 128,
+        out_chunk: int = 128,
         rng: Optional[np.random.Generator] = None,
         name: str = "approx_fc",
     ):
         super().__init__(in_features, out_features, rng=rng, name=name)
         self.multiplier = multiplier if multiplier is not None else AxFPM()
         self.batch_chunk = int(batch_chunk)
+        self.out_chunk = int(out_chunk)
+        self._gemm_kernel = None
 
     @classmethod
     def from_exact(
-        cls, layer: Linear, multiplier: Optional[Multiplier] = None, batch_chunk: int = 128
+        cls,
+        layer: Linear,
+        multiplier: Optional[Multiplier] = None,
+        batch_chunk: int = 128,
+        out_chunk: int = 128,
     ) -> "ApproxLinear":
         """Build an approximate dense layer sharing the exact layer's parameters."""
         approx = cls(
@@ -147,6 +203,7 @@ class ApproxLinear(Linear):
             layer.out_features,
             multiplier=multiplier,
             batch_chunk=batch_chunk,
+            out_chunk=out_chunk,
             name=getattr(layer, "name", "approx_fc"),
         )
         approx.weight = layer.weight
@@ -157,15 +214,25 @@ class ApproxLinear(Linear):
         self._cache = x
         n = x.shape[0]
         out = np.empty((n, self.out_features), dtype=np.float32)
+        kernel = self.gemm_kernel
+        weight = self.weight.value
+        version = self.weight.version
         chunk = max(1, self.batch_chunk)
+        ochunk = max(1, self.out_chunk)
         for start in range(0, n, chunk):
             stop = min(n, start + chunk)
             # activations drive the multiplicand port, weights the multiplier
-            # port (same assignment as ApproxConv2d).
-            products = self.multiplier.multiply(
-                x[start:stop, np.newaxis, :], self.weight.value[np.newaxis, :, :]
-            )
-            out[start:stop] = products.sum(axis=2, dtype=np.float32)
+            # port (same assignment as ApproxConv2d); the GEMM contraction is
+            # the L=1 case of the conv kernel
+            cols = x[start:stop, :, np.newaxis]
+            for o_start in range(0, self.out_features, ochunk):
+                o_stop = min(self.out_features, o_start + ochunk)
+                out[start:stop, o_start:o_stop] = kernel(
+                    cols,
+                    weight[o_start:o_stop],
+                    weight_version=version,
+                    weight_key=(o_start, o_stop),
+                )[:, :, 0]
         return (out + self.bias.value).astype(np.float32)
 
     # backward() inherited from Linear (BPDA).

@@ -18,6 +18,21 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+def conv_geometry(
+    h: int, w: int, kernel, stride: int, padding: int
+) -> Tuple[int, int, int]:
+    """``(out_h, out_w, out_h * out_w)`` of a convolution window.
+
+    ``kernel`` is a single size or a ``(kh, kw)`` pair.  The third element is
+    the ``L`` (flattened spatial) extent of the im2col GEMM formulation
+    shared by the exact and the approximate convolutions.
+    """
+    kh, kw = kernel if isinstance(kernel, tuple) else (kernel, kernel)
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    return out_h, out_w, out_h * out_w
+
+
 def im2col(
     x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
 ) -> np.ndarray:
@@ -94,8 +109,7 @@ def conv2d_forward(
     w_mat = weight.reshape(f, -1)  # (F, C*kh*kw)
     out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
     out += bias.reshape(1, f, 1)
-    out_h = conv_output_size(h, kh, stride, padding)
-    out_w = conv_output_size(w, kw, stride, padding)
+    out_h, out_w, _ = conv_geometry(h, w, (kh, kw), stride, padding)
     return out.reshape(n, f, out_h, out_w).astype(np.float32), cols
 
 

@@ -8,6 +8,7 @@ networks are evaluated layer-by-layer in sequence (see
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -16,13 +17,49 @@ from repro.nn import functional as F
 from repro.nn.init import he_normal, zeros
 
 
+#: process-wide source of parameter version numbers; drawing every version
+#: from one counter makes a version globally unique, so a (version, shape)
+#: pair can never collide across Parameter instances -- swapping a layer's
+#: Parameter object for a fresh one is indistinguishable from a mutation to
+#: any cache keyed on the version
+_VERSION_COUNTER = count(1)
+
+
 class Parameter:
-    """A trainable tensor with an accumulated gradient."""
+    """A trainable tensor with an accumulated gradient.
+
+    Every (re)assignment of :attr:`value` advances the :attr:`version`
+    counter to a fresh process-unique number.  Downstream caches keyed by
+    parameter content -- most importantly the fused GEMM kernels' per-layer
+    weight decompositions (:mod:`repro.arith.kernels`) -- use it to detect
+    mutation *and* object replacement.  All mutation paths in this codebase
+    go through assignment (optimisers use ``p.value -= ...``, which re-binds
+    through the setter); code that writes *into* the array
+    (``p.value[i] = ...``) must call :meth:`bump_version`.
+    """
 
     def __init__(self, value: np.ndarray, name: str = "param"):
         self.value = np.asarray(value, dtype=np.float32)
         self.grad = np.zeros_like(self.value)
         self.name = name
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: np.ndarray) -> None:
+        self._value = np.asarray(new_value, dtype=np.float32)
+        self._version = next(_VERSION_COUNTER)
+
+    @property
+    def version(self) -> int:
+        """Content-version token: strictly increasing, process-unique."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark in-place array mutation that bypassed the ``value`` setter."""
+        self._version = next(_VERSION_COUNTER)
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)

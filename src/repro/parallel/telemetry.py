@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.arith.kernels import KERNEL_STATS
+
 
 @dataclass
 class CellEvent:
@@ -44,6 +46,11 @@ class RunTelemetry:
     jobs: int = 1
     cells_total: int = 0
     events: List[CellEvent] = field(default_factory=list)
+    #: GEMM kernel-engine counters at run start; :meth:`snapshot` reports the
+    #: delta, i.e. this run's kernel activity.  Counters are per-process:
+    #: with ``jobs > 1`` the pool workers' activity is not folded in (each
+    #: worker keeps its own), so parallel runs mostly show planning-side use.
+    kernel_mark: Dict[str, int] = field(default_factory=KERNEL_STATS.snapshot)
 
     def record(self, event: CellEvent) -> CellEvent:
         self.events.append(event)
@@ -91,5 +98,6 @@ class RunTelemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "compute_seconds": round(self.compute_seconds, 4),
+            "kernels": KERNEL_STATS.delta(self.kernel_mark),
             "cells": [e.to_dict() for e in self.events],
         }

@@ -35,7 +35,7 @@ from repro.attacks.registry import ATTACKS
 from repro.core.confidence import compare_confidence
 from repro.core.evaluation import select_correctly_classified
 from repro.core.metrics import l2_distance, mse, psnr
-from repro.nn.approx import ApproxConv2d
+from repro.nn.approx import ApproxConv2d, prime_gemm_kernels
 from repro.nn.layers import Conv2d
 from repro.nn.training import evaluate_accuracy
 from repro.parallel.sharding import n_shards as _shard_count
@@ -204,9 +204,21 @@ def _mean(values: List[float]) -> float:
 
 
 def _warm_model(runner, payload: Dict[str, Any], variants: List[str]) -> None:
-    """Resolve (train or load) the zoo models a cell depends on."""
+    """Resolve (train or load) the zoo models a cell depends on.
+
+    Also resolves the hardware variants and primes their fused GEMM kernels:
+    warm-up runs in the parent before the worker pool forks, so the variant
+    models, the mantissa LUTs *and* the kernels' precomposed signed-product
+    tables are all inherited copy-on-write instead of being rebuilt once per
+    worker.
+    """
     if payload.get("model"):
         runner.zoo(payload["model"])
+        spec = _payload_spec(payload)
+        for variant in variants:
+            if variant.startswith("dq_"):
+                continue  # resolved through the DQ zoo below
+            prime_gemm_kernels(runner.resolve_variant(spec, variant))
     if "dq_zoo" in payload and any(v.startswith("dq_") for v in variants):
         runner.zoo(payload["dq_zoo"])
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.arith.kernels import KERNEL_STATS
 from repro.attacks.base import Attack, Classifier
 from repro.attacks.registry import ATTACKS
 from repro.core.results import format_table
@@ -58,8 +59,14 @@ EXPERIMENT_KINDS = registry("experiment-kind")
 #: invalidates stale artifacts automatically; within a development cycle, use
 #: ``use_cache=False`` / ``--no-cache`` / ``REPRO_PIPELINE_NO_CACHE=1`` after
 #: behavioural changes.  Version 2: attack-evaluation cells became sharded
-#: with per-shard ``SeedSequence``-spawned attack seeds.
-CELL_CACHE_VERSION = 2
+#: with per-shard ``SeedSequence``-spawned attack seeds.  Version 3:
+#: approximate layers execute through the fused GEMM kernel engine
+#: (:mod:`repro.arith.kernels`); convolutions with a spatial extent are
+#: bit-identical to version 2, but degenerate single-pixel convolutions
+#: (the Figure 4 response curves) and approximate-dense ablations now
+#: accumulate as a strict left fold instead of numpy's pairwise
+#: contiguous-axis sum, which can move a few low-order mantissa bits.
+CELL_CACHE_VERSION = 3
 
 #: attack sample budget applied by ``--fast``
 FAST_MAX_SAMPLES = 4
@@ -247,9 +254,14 @@ class Runner:
                 f"cells={len(eplan.requests)} jobs={self.jobs}"
             )
         outcomes = self._compute_cells(plan)
+        # cell compute is shared across the run's experiments, so kernel
+        # activity cannot be attributed per experiment: every result carries
+        # the same run-scoped counter delta, marked as such
+        kernel_delta = {"scope": "run", **KERNEL_STATS.delta(self.telemetry.kernel_mark)}
         results = []
         for eplan in plan.experiments:
             result = self._assemble(eplan, plan, outcomes)
+            result.telemetry["kernels"] = dict(kernel_delta)
             if self.results_dir is not None:
                 result.write(self.results_dir)
             if on_result is not None:

@@ -99,6 +99,23 @@ def test_lut_refused_for_wide_multipliers():
         ArrayMultiplier(16, "exact").build_lut()
 
 
+def test_lut_uses_smallest_sufficient_dtype():
+    # products carry 2n+1 bits: uint16 up to n=7, uint32 up to n=12
+    assert ArrayMultiplier(5, "ama5").build_lut().dtype == np.uint16
+    assert ArrayMultiplier(7, "exact").build_lut().dtype == np.uint16
+    assert ArrayMultiplier(8, "exact").lut_dtype() == np.uint32
+    assert ArrayMultiplier(9, "ama5").build_lut().dtype == np.uint32
+
+
+def test_downcast_lut_preserves_products_exactly():
+    m = ArrayMultiplier(7, "ama5")
+    lut = m.build_lut()
+    rng = np.random.default_rng(9)
+    a = rng.integers(0, 128, size=500)
+    b = rng.integers(0, 128, size=500)
+    np.testing.assert_array_equal(lut[a, b].astype(np.uint64), m.multiply(a, b))
+
+
 def test_uniform_policy_description_and_cells():
     policy = UniformCellPolicy("ama5")
     assert isinstance(policy.cell_at(1, 0, 8), AMA5)

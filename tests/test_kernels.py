@@ -1,0 +1,311 @@
+"""Parity and caching tests for the fused approximate-GEMM kernel engine.
+
+The contract under test: for every multiplier and every input, the kernel
+returned by ``Multiplier.make_gemm_kernel()`` is **bit-identical** to the
+reference computation ``multiplier.multiply`` + float32 left-fold sum over K
+(which is exactly what ``products.sum(axis=2)`` performs over the strided
+reduction axis of the historical convolution path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.fpm import AxFPM, Bfloat16Multiplier, ExactMultiplier, HEAPMultiplier
+from repro.arith.kernels import (
+    KERNEL_STATS,
+    FallbackGemmKernel,
+    FusedLutGemmKernel,
+    pow2_table,
+    signed_product_table,
+)
+from repro.nn.approx import ApproxConv2d, ApproxLinear, prime_gemm_kernels
+from repro.nn.layers import Conv2d, Linear
+
+
+def reference_gemm(multiplier, cols, weight):
+    """The pre-kernel path: broadcast multiply + identity-seeded float32 fold."""
+    products = multiplier.multiply(
+        cols[:, np.newaxis, :, :], weight[np.newaxis, :, :, np.newaxis]
+    )
+    out = np.zeros((cols.shape[0], weight.shape[0], cols.shape[2]), dtype=np.float32)
+    for k in range(products.shape[2]):
+        np.add(out, products[:, :, k, :], out=out)
+    return out
+
+
+def assert_bit_identical(a, b, context=""):
+    __tracebackhint__ = True
+    assert a.shape == b.shape and a.dtype == b.dtype == np.float32, context
+    np.testing.assert_array_equal(a.view(np.uint32), b.view(np.uint32), err_msg=context)
+
+
+def mixed_operands(rng, shape, zeros=0.15):
+    """float32 values mixing signs, magnitudes and exact zeros."""
+    x = rng.uniform(-2.0, 2.0, size=shape).astype(np.float32)
+    x[rng.random(shape) < zeros] = 0.0
+    x[rng.random(shape) < 0.05] *= np.float32(1e-3)  # small magnitudes
+    return x
+
+
+MULTIPLIER_CASES = [
+    ("axfpm-4", lambda: AxFPM(frac_bits=4)),
+    ("axfpm-8", lambda: AxFPM(frac_bits=8)),
+    ("axfpm-10", lambda: AxFPM(frac_bits=10)),
+    ("heap-4", lambda: HEAPMultiplier(frac_bits=4)),
+    ("heap-8", lambda: HEAPMultiplier(frac_bits=8)),
+    ("heap-10", lambda: HEAPMultiplier(frac_bits=10)),
+    ("bfloat16", Bfloat16Multiplier),
+    ("exact", ExactMultiplier),
+]
+
+SHAPES = [(4, 3, 1, 5), (3, 5, 17, 9), (2, 16, 54, 25), (5, 2, 40, 1)]
+
+
+@pytest.mark.parametrize("name,factory", MULTIPLIER_CASES, ids=[c[0] for c in MULTIPLIER_CASES])
+def test_kernel_bit_identical_to_reference(name, factory):
+    multiplier = factory()
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(hash(name) % 2**32)
+    for n, f, k, l in SHAPES:
+        cols = mixed_operands(rng, (n, k, l))
+        weight = mixed_operands(rng, (f, k), zeros=0.1)
+        got = kernel(cols, weight, weight_version=1)
+        assert_bit_identical(got, reference_gemm(multiplier, cols, weight), f"{name} {n,f,k,l}")
+
+
+def test_kernel_matches_strided_axis_sum():
+    """For L > 1 the reference fold equals numpy's own ``sum(axis=2)``."""
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(7)
+    cols = mixed_operands(rng, (3, 60, 11))
+    weight = mixed_operands(rng, (6, 60))
+    products = multiplier.multiply(cols[:, None, :, :], weight[None, :, :, None])
+    assert_bit_identical(
+        kernel(cols, weight), products.sum(axis=2, dtype=np.float32), "sum(axis=2)"
+    )
+
+
+def test_fused_kernel_selected_only_when_lut_available():
+    assert isinstance(AxFPM(frac_bits=8).make_gemm_kernel(), FusedLutGemmKernel)
+    assert isinstance(AxFPM(frac_bits=12, use_lut=False).make_gemm_kernel(), FallbackGemmKernel)
+    assert isinstance(ExactMultiplier().make_gemm_kernel(), FallbackGemmKernel)
+    assert isinstance(Bfloat16Multiplier().make_gemm_kernel(), FallbackGemmKernel)
+
+
+def test_both_fused_strategies_are_bit_identical():
+    """The weight-baked table path and the shared two-gather path agree."""
+    multiplier = AxFPM(frac_bits=8)
+    rng = np.random.default_rng(11)
+    cols = mixed_operands(rng, (4, 33, 13))
+    weight = mixed_operands(rng, (5, 33))
+    baked = FusedLutGemmKernel(multiplier)
+    shared = FusedLutGemmKernel(multiplier, bake_budget=0)  # bake never fits
+    out_baked = baked(cols, weight, weight_version=1)
+    out_shared = shared(cols, weight, weight_version=1)
+    assert any(p.baked is not None for p in baked._prepared.values())
+    assert all(p.baked is None for p in shared._prepared.values())
+    assert_bit_identical(out_baked, out_shared, "baked vs shared")
+    assert_bit_identical(out_baked, reference_gemm(multiplier, cols, weight), "baked vs ref")
+
+
+def test_extreme_exponents_fall_back_with_parity():
+    """Operands outside the provably-safe scaling window stay bit-exact."""
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(13)
+    cols = (rng.uniform(1.0, 2.0, size=(2, 6, 3)) * 1e38).astype(np.float32)
+    weight = (rng.uniform(1.0, 2.0, size=(3, 6)) * 1e38).astype(np.float32)
+    before = KERNEL_STATS.unsafe_calls
+    got = kernel(cols, weight, weight_version=1)
+    assert KERNEL_STATS.unsafe_calls > before
+    assert_bit_identical(got, reference_gemm(multiplier, cols, weight), "overflow regime")
+
+    tiny_cols = (rng.uniform(1.0, 2.0, size=(2, 6, 3)) * 1e-38).astype(np.float32)
+    tiny_weight = (rng.uniform(1.0, 2.0, size=(3, 6)) * 1e-38).astype(np.float32)
+    got = kernel(tiny_cols, tiny_weight, weight_version=2)
+    assert_bit_identical(got, reference_gemm(multiplier, tiny_cols, tiny_weight), "underflow")
+
+
+def test_non_finite_activations_fall_back_with_parity():
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(17)
+    cols = mixed_operands(rng, (2, 5, 4))
+    cols[0, 0, 0] = np.inf
+    weight = mixed_operands(rng, (3, 5))
+    got = kernel(cols, weight, weight_version=1)
+    assert_bit_identical(got, reference_gemm(multiplier, cols, weight), "inf activation")
+
+
+def test_signed_zero_products_match_reference():
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    cols = np.array([[[0.0], [-0.0], [1.5]]], dtype=np.float32)  # (1, 3, 1)
+    weight = np.array([[-2.0, 3.0, 0.0], [0.0, -0.0, -1.25]], dtype=np.float32)
+    got = kernel(cols, weight, weight_version=1)
+    assert_bit_identical(got, reference_gemm(multiplier, cols, weight), "signed zeros")
+
+
+def test_weight_cache_hits_across_calls():
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(19)
+    cols = mixed_operands(rng, (3, 12, 7))
+    weight = mixed_operands(rng, (4, 12))
+    kernel(cols, weight, weight_version=41)
+    hits = KERNEL_STATS.weight_cache_hits
+    misses = KERNEL_STATS.weight_cache_misses
+    kernel(cols, weight, weight_version=41)
+    kernel(cols, weight, weight_version=41)
+    assert KERNEL_STATS.weight_cache_hits == hits + 2
+    assert KERNEL_STATS.weight_cache_misses == misses
+
+
+def test_weight_cache_invalidated_on_version_change():
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(23)
+    cols = mixed_operands(rng, (3, 12, 7))
+    weight_a = mixed_operands(rng, (4, 12))
+    weight_b = mixed_operands(rng, (4, 12))
+    out_a = kernel(cols, weight_a, weight_version=1)
+    # new content under a new version: the kernel must recompute, not reuse
+    out_b = kernel(cols, weight_b, weight_version=2)
+    assert_bit_identical(out_b, reference_gemm(multiplier, cols, weight_b), "after mutation")
+    assert not np.array_equal(out_a, out_b)
+
+
+def test_conv_layer_weight_mutation_recomputes():
+    """Mutating layer weights (through Parameter assignment) is picked up."""
+    layer = ApproxConv2d(1, 2, 3, multiplier=AxFPM(frac_bits=8), rng=np.random.default_rng(3))
+    x = np.random.default_rng(4).uniform(-1, 1, size=(2, 1, 8, 8)).astype(np.float32)
+    out1 = layer.forward(x)
+    version = layer.weight.version
+    layer.weight.value = layer.weight.value * np.float32(2.0)
+    assert layer.weight.version > version
+    out2 = layer.forward(x)
+    assert not np.array_equal(out1, out2)
+    # and the recomputed outputs match a fresh layer with the same weights
+    fresh = ApproxConv2d(1, 2, 3, multiplier=AxFPM(frac_bits=8))
+    fresh.weight = layer.weight
+    fresh.bias = layer.bias
+    assert_bit_identical(out2, fresh.forward(x), "stale weight cache")
+
+
+def test_conv_layer_weight_object_replacement_recomputes():
+    """Swapping the weight Parameter *object* must also invalidate the cache."""
+    from repro.nn.layers import Parameter
+
+    layer = ApproxConv2d(1, 2, 3, multiplier=AxFPM(frac_bits=8), rng=np.random.default_rng(31))
+    x = np.random.default_rng(32).uniform(-1, 1, size=(2, 1, 7, 7)).astype(np.float32)
+    out1 = layer.forward(x)
+    layer.weight = Parameter(
+        np.random.default_rng(33).normal(0, 0.3, size=layer.weight.shape), name="swapped"
+    )
+    out2 = layer.forward(x)
+    assert not np.array_equal(out1, out2)
+    fresh = ApproxConv2d(1, 2, 3, multiplier=AxFPM(frac_bits=8))
+    fresh.weight = layer.weight
+    fresh.bias = layer.bias
+    assert_bit_identical(out2, fresh.forward(x), "weight object swap")
+
+
+def test_approx_conv_forward_bit_identical_to_pre_kernel_path():
+    """End-to-end layer parity against the historical forward implementation."""
+    exact = Conv2d(2, 4, 3, rng=np.random.default_rng(5))
+    multiplier = AxFPM(frac_bits=8)
+    layer = ApproxConv2d.from_exact(exact, multiplier=multiplier, batch_chunk=2)
+    x = mixed_operands(np.random.default_rng(6), (5, 2, 9, 9))
+
+    from repro.nn import functional as F
+
+    cols = F.im2col(x, (3, 3), 1, 0)
+    w_mat = layer.weight.value.reshape(4, -1)
+    out_ref = np.empty((5, 4, 49), dtype=np.float32)
+    for start in range(0, 5, 2):
+        stop = min(5, start + 2)
+        products = multiplier.multiply(
+            cols[start:stop, np.newaxis, :, :], w_mat[np.newaxis, :, :, np.newaxis]
+        )
+        out_ref[start:stop] = products.sum(axis=2, dtype=np.float32)
+    out_ref += layer.bias.value.reshape(1, 4, 1)
+    expected = out_ref.reshape(5, 4, 7, 7).astype(np.float32)
+    assert_bit_identical(layer.forward(x), expected, "ApproxConv2d vs pre-kernel path")
+
+
+def test_approx_linear_out_chunking_is_bit_exact_and_bounded():
+    exact = Linear(30, 50, rng=np.random.default_rng(8))
+    x = mixed_operands(np.random.default_rng(9), (6, 30))
+    wide = ApproxLinear.from_exact(exact, multiplier=AxFPM(frac_bits=8), out_chunk=1000)
+    narrow = ApproxLinear.from_exact(exact, multiplier=AxFPM(frac_bits=8), out_chunk=7)
+    assert_bit_identical(wide.forward(x), narrow.forward(x), "out_chunk")
+
+
+def test_approx_linear_chunk_grid_matches_reference():
+    exact = Linear(20, 9, rng=np.random.default_rng(10))
+    multiplier = AxFPM(frac_bits=8)
+    x = mixed_operands(np.random.default_rng(12), (5, 20))
+    expected = reference_gemm(multiplier, x[:, :, np.newaxis], exact.weight.value)[:, :, 0]
+    expected = (expected + exact.bias.value).astype(np.float32)
+    for batch_chunk, out_chunk in [(2, 3), (5, 9), (1, 1), (64, 64)]:
+        layer = ApproxLinear.from_exact(
+            exact, multiplier=multiplier, batch_chunk=batch_chunk, out_chunk=out_chunk
+        )
+        assert_bit_identical(layer.forward(x), expected, f"chunks {batch_chunk}x{out_chunk}")
+
+
+def test_kernel_rebuilt_when_multiplier_swapped():
+    layer = ApproxConv2d(1, 2, 3, multiplier=AxFPM(frac_bits=8))
+    first = layer.gemm_kernel
+    assert layer.gemm_kernel is first  # stable while the multiplier stays
+    layer.multiplier = ExactMultiplier()
+    assert isinstance(layer.gemm_kernel, FallbackGemmKernel)
+
+
+def test_prime_gemm_kernels_builds_layer_kernels():
+    from repro.nn.models import build_lenet5, convert_to_approximate
+
+    model = build_lenet5((1, 12, 12), conv_channels=(2, 3), fc_sizes=(8, 8), dropout=0.0)
+    approx = convert_to_approximate(model)
+    layers = [l for l in approx.layers if isinstance(l, ApproxConv2d)]
+    assert all(l._gemm_kernel is None for l in layers)
+    prime_gemm_kernels(approx)
+    assert all(isinstance(l._gemm_kernel, FusedLutGemmKernel) for l in layers)
+
+
+def test_signed_product_table_layout():
+    multiplier = AxFPM(frac_bits=4)
+    table = signed_product_table(multiplier._get_lut(), 4)
+    half = 1 << 4
+    assert table.shape == (2 * half + 1, 2 * half + 1)
+    assert not table.flags.writeable
+    # zero row/column flush to +0.0 (no sign)
+    assert np.all(table[2 * half] == 0.0) and np.all(table[:, 2 * half] == 0.0)
+    assert not np.any(np.signbit(table[2 * half]))
+    # sign symmetry of the quadrants
+    np.testing.assert_array_equal(table[:half, :half], -table[:half, half : 2 * half])
+    np.testing.assert_array_equal(table[:half, :half], table[half : 2 * half, half : 2 * half])
+
+
+def test_pow2_table_exact_inside_window():
+    table = pow2_table()
+    from repro.arith.kernels import POW2_BIAS
+
+    for e in (-149, -126, -1, 0, 1, 127):
+        assert table[e + POW2_BIAS] == np.float32(2.0**e)
+    assert table[256 + POW2_BIAS] == np.inf  # beyond float32's exponent range
+    assert table[0] == 0.0
+
+
+def test_run_telemetry_embeds_kernel_deltas():
+    from repro.parallel.telemetry import RunTelemetry
+
+    telemetry = RunTelemetry()
+    multiplier = AxFPM(frac_bits=8)
+    kernel = multiplier.make_gemm_kernel()
+    rng = np.random.default_rng(29)
+    kernel(mixed_operands(rng, (2, 9, 4)), mixed_operands(rng, (3, 9)), weight_version=1)
+    snap = telemetry.snapshot()["kernels"]
+    assert snap["fused_calls"] >= 1
+    assert snap["fused_macs"] >= 2 * 3 * 9 * 4

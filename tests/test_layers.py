@@ -23,6 +23,39 @@ def test_parameter_zero_grad_and_shape():
     assert p.shape == (2, 3)
 
 
+def test_parameter_version_bumps_on_assignment():
+    p = Parameter(np.ones((2, 2)), name="w")
+    v0 = p.version
+    p.value = np.zeros((2, 2))
+    v1 = p.version
+    assert v1 > v0
+    p.value -= 1.0  # augmented assignment re-binds through the setter
+    v2 = p.version
+    assert v2 > v1
+    p.bump_version()  # escape hatch for in-place array writes
+    assert p.version > v2
+    assert p.value.dtype == np.float32
+
+
+def test_parameter_versions_are_process_unique():
+    # two distinct Parameters never share a version, so replacing a layer's
+    # Parameter object is indistinguishable from a mutation to version-keyed
+    # caches (the fused GEMM kernels' weight decompositions)
+    a = Parameter(np.ones(2), name="a")
+    b = Parameter(np.ones(2), name="b")
+    assert a.version != b.version
+
+
+def test_optimizer_step_bumps_parameter_versions():
+    from repro.nn.optim import SGD
+
+    p = Parameter(np.ones(3), name="w")
+    p.grad += 1.0
+    v0 = p.version
+    SGD([p], lr=0.1).step()
+    assert p.version > v0
+
+
 def test_conv2d_forward_shape_and_parameters():
     layer = Conv2d(3, 8, 3, padding=1)
     x = np.random.default_rng(0).normal(size=(4, 3, 10, 10)).astype(np.float32)
