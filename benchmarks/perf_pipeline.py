@@ -5,9 +5,10 @@ workload (12 unique grid cells across 4 experiments) three ways and writes
 ``BENCH_pipeline.json`` at the repository root -- the seed of the pipeline's
 performance trajectory across PRs:
 
-* ``jobs=1``, cold cell cache -- the serial baseline;
+* ``jobs=1``, cold cell cache -- the serial baseline (best of 2 trials);
 * ``jobs=auto``, cold cell cache -- the parallel engine (identical results,
-  bit for bit);
+  bit for bit; best of 2 trials, so the recorded ``speedup`` compares two
+  warmed-up runs instead of charging first-run warm-up to one side);
 * ``jobs=auto``, warm cell cache -- every cell a hit, measuring plan +
   artifact-load overhead.
 
@@ -39,28 +40,57 @@ from repro.pipeline import NONDETERMINISTIC_RESULT_FIELDS, Runner  # noqa: E402
 from repro.pipeline.catalog import FAST_PERF_SUBSET  # noqa: E402
 
 
-def _timed_run(jobs: int, cache_dir: Path, label: str) -> dict:
+def _timed_run(jobs: int, cache_dir: Path, label: str, trials: int = 1) -> dict:
+    """Run the workload ``trials`` times on a cold cache; report the best.
+
+    Each cold trial gets a fresh cache directory, so none of them benefits
+    from the previous trial's artifacts; best-of-N keeps one-off warm-up
+    effects (allocator growth, first-touch page faults) out of the recorded
+    ``speedup``.
+    """
+    best = None
+    for trial in range(max(1, trials)):
+        runner = Runner(fast=True, cache_dir=cache_dir / f"trial{trial}", jobs=jobs)
+        start = time.perf_counter()
+        results = runner.run_many(list(FAST_PERF_SUBSET))
+        wall = time.perf_counter() - start
+        payloads = []
+        for result in results:
+            payload = result.to_json()
+            for field in NONDETERMINISTIC_RESULT_FIELDS:
+                payload.pop(field, None)
+            # compare canonical JSON text, not dicts: NaN != NaN would falsely
+            # flag zero-success white-box cells as nondeterministic
+            payloads.append(json.dumps(payload, sort_keys=True))
+        record = {
+            "label": label,
+            "jobs": runner.jobs,
+            "wall_seconds": round(wall, 3),
+            "trials": max(1, trials),
+            "cells_total": runner.telemetry.cells_total,
+            "cache_hits": runner.telemetry.cache_hits,
+            "cache_misses": runner.telemetry.cache_misses,
+            "compute_seconds": round(runner.telemetry.compute_seconds, 3),
+            "_deterministic_payload": payloads,
+        }
+        if best is None or record["wall_seconds"] < best["wall_seconds"]:
+            best = record
+    return best
+
+
+def _warm_run(jobs: int, cache_dir: Path, label: str) -> dict:
+    """Re-run the workload against an already-populated cache directory."""
     runner = Runner(fast=True, cache_dir=cache_dir, jobs=jobs)
     start = time.perf_counter()
-    results = runner.run_many(list(FAST_PERF_SUBSET))
-    wall = time.perf_counter() - start
-    payloads = []
-    for result in results:
-        payload = result.to_json()
-        for field in NONDETERMINISTIC_RESULT_FIELDS:
-            payload.pop(field, None)
-        # compare canonical JSON text, not dicts: NaN != NaN would falsely
-        # flag zero-success white-box cells as nondeterministic
-        payloads.append(json.dumps(payload, sort_keys=True))
+    runner.run_many(list(FAST_PERF_SUBSET))
     return {
         "label": label,
         "jobs": runner.jobs,
-        "wall_seconds": round(wall, 3),
+        "wall_seconds": round(time.perf_counter() - start, 3),
         "cells_total": runner.telemetry.cells_total,
         "cache_hits": runner.telemetry.cache_hits,
         "cache_misses": runner.telemetry.cache_misses,
         "compute_seconds": round(runner.telemetry.compute_seconds, 3),
-        "_deterministic_payload": payloads,
     }
 
 
@@ -89,12 +119,19 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
         tmp = Path(tmp)
-        serial = _timed_run(1, tmp / "serial", "jobs=1, cold cache")
-        parallel = _timed_run(jobs, tmp / "parallel", f"jobs={jobs}, cold cache")
-        warm_cache = _timed_run(jobs, tmp / "parallel", f"jobs={jobs}, warm cache")
+        # trial labels are distinct even when --jobs resolves to 1 on a
+        # single-core machine (the serial baseline vs the pool run used to
+        # both read "jobs=1, cold cache"), and each side is best-of-N so the
+        # recorded speedup is not first-run warm-up noise
+        serial = _timed_run(1, tmp / "serial", "serial baseline (jobs=1), cold cache", trials=2)
+        parallel = _timed_run(
+            jobs, tmp / "parallel", f"pool run (jobs={jobs}), cold cache", trials=2
+        )
+        warm_cache = _warm_run(
+            jobs, tmp / "parallel" / "trial1", f"pool rerun (jobs={jobs}), warm cache"
+        )
 
     identical = serial.pop("_deterministic_payload") == parallel.pop("_deterministic_payload")
-    warm_cache.pop("_deterministic_payload")
     record = {
         "benchmark": "pipeline_parallel_execution",
         "workload": list(FAST_PERF_SUBSET),

@@ -62,6 +62,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.arith.float_format import operand_code_side, operand_codes
+from repro.counters import ProcessCounters
 
 #: bias applied to exponent sums when indexing the power-of-two table; large
 #: enough that the sum of two biased float32 exponents (plus the inf/NaN
@@ -99,7 +100,7 @@ def _bake_budget() -> int:
 
 
 # --------------------------------------------------------------------- stats
-class KernelStats:
+class KernelStats(ProcessCounters):
     """Process-level observability counters for the GEMM kernel engine.
 
     Monotonic within a process; the pipeline telemetry embeds per-run deltas.
@@ -117,20 +118,6 @@ class KernelStats:
         "weight_cache_misses",
         "weight_tables_baked",
     )
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        for name in self._FIELDS:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        return {name: int(getattr(self, name)) for name in self._FIELDS}
-
-    def delta(self, mark: Dict[str, int]) -> Dict[str, int]:
-        """Counter increments since ``mark`` (an earlier :meth:`snapshot`)."""
-        return {name: int(getattr(self, name)) - int(mark.get(name, 0)) for name in self._FIELDS}
 
 
 #: the process-wide counter instance

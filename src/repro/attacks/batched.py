@@ -1,0 +1,112 @@
+"""Active-set rollout machinery for the batched attack engine.
+
+The iterative attacks historically advanced one victim example at a time, so
+every classifier call -- a prediction probe, a BPDA gradient, a Monte-Carlo
+boundary estimate -- ran at batch size 1 and paid the full per-call model
+overhead (layer dispatch, im2col, approximate-kernel setup) per example.
+The batched engine turns the loops inside out: each attack iteration advances
+its *entire* still-active victim batch through one model call.
+
+Design contract
+---------------
+The rewritten attacks (DeepFool, C&W, JSMA, LSA, Boundary, HopSkipJump) are
+**bit-for-bit identical** to their per-example reference loops at every batch
+size.  Three ingredients make that hold:
+
+* the model facade is *batch-invariant*: a given example's logits and input
+  gradients have the same bits whether it is evaluated alone or inside any
+  batch (see the batch-invariance notes in :mod:`repro.nn.functional`);
+* stochastic attacks draw **per-example RNG streams** spawned with
+  ``np.random.SeedSequence(entropy=seed, spawn_key=(seed_offset + i,))``
+  (see :meth:`repro.attacks.base.Attack.example_rng`), so an example's noise
+  sequence is a function of its global victim index, never of the batch or
+  shard it was processed in;
+* per-example *control flow and scalar arithmetic* stay per-example: the
+  attacks keep the reference implementation's row-level expressions (same
+  dtypes, same operation order) and only the classifier calls are batched.
+  An :class:`ActiveSet` tracks which examples are still being attacked --
+  converged or successful examples retire and stop consuming queries, so
+  query and gradient *counts* also match the per-example loops exactly.
+
+Retiring examples keeps batches dense: the live sub-batch is gathered, one
+``predict_logits`` / ``loss_gradient`` / ``logits_gradient`` call is issued
+through the fused kernels, and the results are scattered back to their rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+
+class ActiveSet:
+    """Tracks which examples of a victim batch are still being attacked.
+
+    The set starts with all ``n`` examples alive; attacks :meth:`retire`
+    examples as they succeed, converge or exhaust their budget.  Iteration
+    helpers return *global* row indices so per-row state arrays can be
+    indexed directly.
+    """
+
+    def __init__(self, n: int):
+        self._alive = np.ones(int(n), dtype=bool)
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Global indices of the still-active examples, in victim order."""
+        return np.flatnonzero(self._alive)
+
+    def retire(self, indices: Iterable[int]) -> None:
+        """Remove examples from the active set (idempotent)."""
+        self._alive[np.asarray(indices, dtype=np.int64)] = False
+
+    def __len__(self) -> int:
+        return int(self._alive.sum())
+
+    def __bool__(self) -> bool:
+        return bool(self._alive.any())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ActiveSet({len(self)}/{self._alive.size} active)"
+
+
+def find_adversarial_starts(
+    classifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    rngs: List[np.random.Generator],
+    current: np.ndarray,
+    init_trials: int,
+) -> np.ndarray:
+    """Lockstep random-restart search for adversarial starting points.
+
+    Shared by the decision-based attacks (Boundary, HopSkipJump).  Each
+    trial draws one uniform candidate per still-searching example -- from
+    that example's own RNG stream, mirroring the per-example reference loop
+    draw-for-draw -- and classifies all candidates in a single call.
+    ``current`` receives the found starting points in place; the returned
+    boolean mask marks which examples found one within ``init_trials``.
+    """
+    n = len(x)
+    found = np.zeros(n, dtype=bool)
+    searching = list(range(n))
+    for _ in range(int(init_trials)):
+        if not searching:
+            break
+        candidates = [
+            rngs[i]
+            .uniform(classifier.clip_min, classifier.clip_max, size=x[i].shape)
+            .astype(np.float32)
+            for i in searching
+        ]
+        predictions = classifier.predict(np.stack(candidates))
+        still_searching = []
+        for pos, i in enumerate(searching):
+            if predictions[pos] != y[i]:
+                current[i] = candidates[pos]
+                found[i] = True
+            else:
+                still_searching.append(i)
+        searching = still_searching
+    return found

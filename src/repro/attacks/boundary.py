@@ -4,15 +4,22 @@ A decision-based attack: it only observes the predicted label.  Starting from
 an adversarial point (large random perturbation), it performs a random walk
 along the decision boundary that gradually reduces the distance to the clean
 input while remaining adversarial.
+
+Batched execution: initialisation trials and walk steps run in lockstep --
+every iteration draws one proposal per active example (from its own RNG
+stream) and classifies all proposals in a single call.  Examples whose
+initialisation failed, or whose walk converged onto the clean input, retire
+and stop consuming queries.  The per-example proposal geometry and step-size
+adaptation keep the reference expressions, so the walk is bit-for-bit that
+of the per-example loop (:mod:`repro.attacks.batched`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.attacks.base import Attack, Classifier
+from repro.attacks.batched import ActiveSet, find_adversarial_starts
 
 
 class BoundaryAttack(Attack):
@@ -28,6 +35,8 @@ class BoundaryAttack(Attack):
     init_trials:
         Number of random images tried when searching for an adversarial
         starting point.
+    seed:
+        Entropy of the per-example RNG streams (see :class:`Attack`).
     """
 
     name = "boundary"
@@ -44,54 +53,54 @@ class BoundaryAttack(Attack):
         self.orthogonal_step = float(orthogonal_step)
         self.source_step = float(source_step)
         self.init_trials = int(init_trials)
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        adversarial = np.empty_like(np.asarray(x, dtype=np.float32))
-        for i in range(len(x)):
-            adversarial[i] = self._attack_single(classifier, x[i], int(y[i]))
-        return adversarial
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(x)
+        rngs = [self.example_rng(i) for i in range(n)]
+        current = x.copy()  # examples without a starting point stay clean
 
-    # ------------------------------------------------------------ internals
-    def _find_start(self, classifier: Classifier, x: np.ndarray, label: int) -> Optional[np.ndarray]:
-        for _ in range(self.init_trials):
-            candidate = self.rng.uniform(
-                classifier.clip_min, classifier.clip_max, size=x.shape
-            ).astype(np.float32)
-            if classifier.predict(candidate[np.newaxis])[0] != label:
-                return candidate
-        return None
+        found = find_adversarial_starts(classifier, x, y, rngs, current, self.init_trials)
+        active = ActiveSet(n)
+        active.retire(np.flatnonzero(~found))
 
-    def _attack_single(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
-        x = x.astype(np.float32)
-        current = self._find_start(classifier, x, label)
-        if current is None:
-            return x.copy()
-
-        ortho_step = self.orthogonal_step
-        source_step = self.source_step
+        ortho_step = [self.orthogonal_step] * n
+        source_step = [self.source_step] * n
         for _ in range(self.max_iterations):
-            diff = x - current
-            dist = np.linalg.norm(diff.ravel())
-            if dist < 1e-6:
+            rows = active.indices
+            if not len(rows):
                 break
-            # orthogonal perturbation on the sphere around the clean image
-            noise = self.rng.normal(size=x.shape).astype(np.float32)
-            noise *= ortho_step * dist / (np.linalg.norm(noise.ravel()) + 1e-12)
-            candidate = current + noise
-            # re-project to the sphere of the current distance
-            cand_diff = x - candidate
-            cand_dist = np.linalg.norm(cand_diff.ravel()) + 1e-12
-            candidate = x - cand_diff * (dist / cand_dist)
-            # step towards the clean image
-            candidate = candidate + source_step * (x - candidate)
-            candidate = classifier.clip(candidate)
-
-            if classifier.predict(candidate[np.newaxis])[0] != label:
-                current = candidate
-                ortho_step = min(ortho_step * 1.05, 0.5)
-                source_step = min(source_step * 1.05, 0.5)
-            else:
-                ortho_step *= 0.9
-                source_step *= 0.9
+            proposing = []
+            proposals = []
+            for i in rows:
+                diff = x[i] - current[i]
+                dist = np.linalg.norm(diff.ravel())
+                if dist < 1e-6:
+                    active.retire([i])
+                    continue
+                # orthogonal perturbation on the sphere around the clean image
+                noise = rngs[i].normal(size=x[i].shape).astype(np.float32)
+                noise *= ortho_step[i] * dist / (np.linalg.norm(noise.ravel()) + 1e-12)
+                candidate = current[i] + noise
+                # re-project to the sphere of the current distance
+                cand_diff = x[i] - candidate
+                cand_dist = np.linalg.norm(cand_diff.ravel()) + 1e-12
+                candidate = x[i] - cand_diff * (dist / cand_dist)
+                # step towards the clean image
+                candidate = candidate + source_step[i] * (x[i] - candidate)
+                proposing.append(i)
+                proposals.append(classifier.clip(candidate))
+            if not proposing:
+                continue
+            predictions = classifier.predict(np.stack(proposals))
+            for pos, i in enumerate(proposing):
+                if predictions[pos] != y[i]:
+                    current[i] = proposals[pos]
+                    ortho_step[i] = min(ortho_step[i] * 1.05, 0.5)
+                    source_step[i] = min(source_step[i] * 1.05, 0.5)
+                else:
+                    ortho_step[i] *= 0.9
+                    source_step[i] *= 0.9
         return current

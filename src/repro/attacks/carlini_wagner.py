@@ -10,6 +10,12 @@ A small geometric search over ``c`` replaces the full binary search of the
 original paper; it is sufficient to find low-norm adversarial examples on the
 models used in this reproduction while keeping the attack affordable against
 the (slow, gate-level emulated) approximate classifier.
+
+Batched execution: the Adam optimisation was always vectorised over the
+batch; the active set applies to the ``c`` escalation -- an example retires
+as soon as one constant yields an adversarial example (matching the
+per-example loop, where each victim stops escalating independently), so
+later, more expensive constants only optimise the still-unsolved sub-batch.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, Classifier
+from repro.attacks.batched import ActiveSet
 
 
 class CarliniWagnerL2(Attack):
@@ -47,18 +54,23 @@ class CarliniWagnerL2(Attack):
         best = x.copy()
         best_l2 = np.full(len(x), np.inf)
 
+        active = ActiveSet(len(x))
         const = self.initial_const
         for _ in range(self.num_const_steps):
-            candidates = self._optimise(classifier, x, y, const)
+            rows = active.indices
+            if not len(rows):
+                break
+            candidates = self._optimise(classifier, x[rows], y[rows], const)
             preds = classifier.predict(candidates)
-            for i in range(len(x)):
-                if preds[i] != y[i]:
-                    l2 = float(np.linalg.norm((candidates[i] - x[i]).ravel()))
+            for pos, i in enumerate(rows):
+                if preds[pos] != y[i]:
+                    l2 = float(np.linalg.norm((candidates[pos] - x[i]).ravel()))
                     if l2 < best_l2[i]:
                         best_l2[i] = l2
-                        best[i] = candidates[i]
-            if np.all(np.isfinite(best_l2)):
-                break
+                        best[i] = candidates[pos]
+            # an example that found an adversarial point stops escalating c,
+            # exactly as its standalone per-example run would
+            active.retire(rows[np.isfinite(best_l2[rows])])
             const *= self.const_factor
         return best
 
@@ -85,6 +97,7 @@ class CarliniWagnerL2(Attack):
         for t in range(1, self.max_iterations + 1):
             x_adv = (np.tanh(w) + 1.0) / 2.0 * span + lo
             logits = classifier.predict_logits(x_adv)
+            forward_serial = classifier.forward_serial
             true_logit = (logits * one_hot).sum(axis=1)
             other_logit = (logits - 1e9 * one_hot).max(axis=1)
             margin = true_logit - other_logit + self.confidence
@@ -97,7 +110,11 @@ class CarliniWagnerL2(Attack):
             grad_logits[rows, y] = 1.0
             grad_logits[rows, other_idx] -= 1.0
             grad_logits *= (const * attack_active)[:, np.newaxis]
-            grad_from_margin = classifier.logits_gradient(x_adv, grad_logits)
+            # the margin cotangent is built from this iteration's logits, so
+            # the backward can ride the forward the prediction just paid for
+            grad_from_margin = classifier.cached_logits_gradient(
+                grad_logits, forward_serial=forward_serial
+            )
 
             grad_from_l2 = 2.0 * (x_adv - x)
             grad_x = grad_from_l2 + grad_from_margin

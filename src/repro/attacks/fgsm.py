@@ -18,5 +18,8 @@ class FGSM(Attack):
         self.epsilon = float(epsilon)
 
     def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not len(x):  # empty victim slice: no-op (the model rejects N=0)
+            return x.copy()
         grad = classifier.loss_gradient(x, y)
         return classifier.clip(x + self.epsilon * np.sign(grad))

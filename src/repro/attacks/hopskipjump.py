@@ -3,15 +3,25 @@
 A decision-based attack that combines binary-search projection onto the
 decision boundary with a Monte-Carlo estimate of the boundary normal, giving
 much better query efficiency than the plain Boundary Attack.
+
+Batched execution: every phase runs in lockstep over the active set --
+initialisation trials, the binary-search bisections, the geometric step
+search, and (the big one) the Monte-Carlo gradient estimate, whose
+``num_samples`` probes are batched **per example and across examples** into
+one classifier call per outer iteration.  Per-example noise comes from
+per-example RNG streams and the per-example geometry keeps the reference
+expressions, so trajectories are bit-for-bit those of the per-example loop
+(:mod:`repro.attacks.batched`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.attacks.base import Attack, Classifier
+from repro.attacks.batched import ActiveSet, find_adversarial_starts
 
 
 class HopSkipJump(Attack):
@@ -29,6 +39,8 @@ class HopSkipJump(Attack):
         square root of the iteration, as in the original paper).
     binary_search_steps:
         Steps of the boundary binary search.
+    seed:
+        Entropy of the per-example RNG streams (see :class:`Attack`).
     """
 
     name = "hsj"
@@ -45,83 +57,122 @@ class HopSkipJump(Attack):
         self.init_trials = int(init_trials)
         self.num_eval_samples = int(num_eval_samples)
         self.binary_search_steps = int(binary_search_steps)
-        self.rng = np.random.default_rng(seed)
-
-    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        adversarial = np.empty_like(np.asarray(x, dtype=np.float32))
-        for i in range(len(x)):
-            adversarial[i] = self._attack_single(classifier, x[i], int(y[i]))
-        return adversarial
+        self.seed = seed
 
     # ------------------------------------------------------------ internals
-    def _is_adversarial(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
-        x = np.atleast_2d(x.reshape((-1,) + x.shape[-3:])) if x.ndim == 3 else x
-        return classifier.predict(x) != label
+    def _binary_search_rows(
+        self,
+        classifier: Classifier,
+        x: np.ndarray,
+        y: np.ndarray,
+        points: Dict[int, np.ndarray],
+        rows: Sequence[int],
+    ) -> Dict[int, np.ndarray]:
+        """Project each row's adversarial point onto the boundary (lockstep).
 
-    def _find_start(self, classifier: Classifier, x: np.ndarray, label: int) -> Optional[np.ndarray]:
-        for _ in range(self.init_trials):
-            candidate = self.rng.uniform(
-                classifier.clip_min, classifier.clip_max, size=x.shape
-            ).astype(np.float32)
-            if classifier.predict(candidate[np.newaxis])[0] != label:
-                return candidate
-        return None
-
-    def _binary_search(
-        self, classifier: Classifier, x: np.ndarray, adversarial: np.ndarray, label: int
-    ) -> np.ndarray:
-        """Project the adversarial point onto the boundary along the segment to x."""
-        low, high = 0.0, 1.0  # interpolation coefficient towards the adversarial point
+        One prediction call per bisection step covers every row; the
+        interpolation scalars stay per-example Python floats, mirroring the
+        reference's single-example search.
+        """
+        low = {i: 0.0 for i in rows}
+        high = {i: 1.0 for i in rows}
         for _ in range(self.binary_search_steps):
-            mid = (low + high) / 2.0
-            blended = (1 - mid) * x + mid * adversarial
-            if classifier.predict(blended[np.newaxis])[0] != label:
-                high = mid
-            else:
-                low = mid
-        return ((1 - high) * x + high * adversarial).astype(np.float32)
+            mid = {i: (low[i] + high[i]) / 2.0 for i in rows}
+            blended = np.stack([(1 - mid[i]) * x[i] + mid[i] * points[i] for i in rows])
+            predictions = classifier.predict(blended)
+            for pos, i in enumerate(rows):
+                if predictions[pos] != y[i]:
+                    high[i] = mid[i]
+                else:
+                    low[i] = mid[i]
+        return {
+            i: ((1 - high[i]) * x[i] + high[i] * points[i]).astype(np.float32) for i in rows
+        }
 
-    def _estimate_direction(
-        self, classifier: Classifier, boundary_point: np.ndarray, label: int, iteration: int
-    ) -> np.ndarray:
-        n_samples = int(self.num_eval_samples * np.sqrt(iteration + 1))
-        delta = 0.1 / np.sqrt(np.prod(boundary_point.shape))
-        noise = self.rng.normal(size=(n_samples,) + boundary_point.shape).astype(np.float32)
-        norms = np.linalg.norm(noise.reshape(n_samples, -1), axis=1).reshape(
-            (-1,) + (1,) * boundary_point.ndim
-        )
-        noise /= norms + 1e-12
-        probes = np.clip(
-            boundary_point[np.newaxis] + delta * noise, classifier.clip_min, classifier.clip_max
-        )
-        is_adv = (classifier.predict(probes) != label).astype(np.float32) * 2.0 - 1.0
-        # baseline subtraction (control variate) as in the original algorithm
-        is_adv -= is_adv.mean()
-        direction = (is_adv.reshape((-1,) + (1,) * boundary_point.ndim) * noise).mean(axis=0)
-        norm = np.linalg.norm(direction.ravel())
-        if norm < 1e-12:
-            return noise[0]
-        return direction / norm
+    def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(x)
+        rngs = [self.example_rng(i) for i in range(n)]
+        current = x.copy()  # examples without a starting point stay clean
 
-    def _attack_single(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
-        x = x.astype(np.float32)
-        current = self._find_start(classifier, x, label)
-        if current is None:
-            return x.copy()
-        current = self._binary_search(classifier, x, current, label)
+        found = find_adversarial_starts(classifier, x, y, rngs, current, self.init_trials)
+        active = ActiveSet(n)
+        active.retire(np.flatnonzero(~found))
+        rows = active.indices
+        if len(rows):
+            projected = self._binary_search_rows(
+                classifier, x, y, {i: current[i] for i in rows}, rows
+            )
+            for i in rows:
+                current[i] = projected[i]
 
         for iteration in range(self.max_iterations):
-            direction = self._estimate_direction(classifier, current, label, iteration)
-            dist = np.linalg.norm((current - x).ravel())
-            step = dist / np.sqrt(iteration + 1)
-            # geometric step-size search: shrink until still adversarial
-            success = False
+            rows = active.indices
+            if not len(rows):
+                break
+            # Monte-Carlo boundary-normal estimate: all rows' probe spheres
+            # ride in one classifier call
+            n_samples = int(self.num_eval_samples * np.sqrt(iteration + 1))
+            noises = []
+            probe_blocks = []
+            for i in rows:
+                boundary_point = current[i]
+                delta = 0.1 / np.sqrt(np.prod(boundary_point.shape))
+                noise = rngs[i].normal(size=(n_samples,) + boundary_point.shape).astype(
+                    np.float32
+                )
+                norms = np.linalg.norm(noise.reshape(n_samples, -1), axis=1).reshape(
+                    (-1,) + (1,) * boundary_point.ndim
+                )
+                noise /= norms + 1e-12
+                probes = np.clip(
+                    boundary_point[np.newaxis] + delta * noise,
+                    classifier.clip_min,
+                    classifier.clip_max,
+                )
+                noises.append(noise)
+                probe_blocks.append(probes)
+            predictions = classifier.predict(np.concatenate(probe_blocks))
+            directions = {}
+            for pos, i in enumerate(rows):
+                is_adv = (
+                    predictions[pos * n_samples : (pos + 1) * n_samples] != y[i]
+                ).astype(np.float32) * 2.0 - 1.0
+                # baseline subtraction (control variate) as in the original
+                is_adv -= is_adv.mean()
+                direction = (
+                    is_adv.reshape((-1,) + (1,) * x[i].ndim) * noises[pos]
+                ).mean(axis=0)
+                norm = np.linalg.norm(direction.ravel())
+                directions[i] = noises[pos][0] if norm < 1e-12 else direction / norm
+
+            # geometric step-size search: each round proposes one candidate
+            # per still-searching row, shrinking its step on failure
+            step = {}
+            for i in rows:
+                dist = np.linalg.norm((current[i] - x[i]).ravel())
+                step[i] = dist / np.sqrt(iteration + 1)
+            searching = list(rows)
+            landed: Dict[int, np.ndarray] = {}
             for _ in range(10):
-                candidate = classifier.clip(current + step * direction)
-                if classifier.predict(candidate[np.newaxis])[0] != label:
-                    success = True
+                if not searching:
                     break
-                step /= 2.0
-            if success:
-                current = self._binary_search(classifier, x, candidate, label)
+                candidates = [
+                    classifier.clip(current[i] + step[i] * directions[i]) for i in searching
+                ]
+                predictions = classifier.predict(np.stack(candidates))
+                still_searching = []
+                for pos, i in enumerate(searching):
+                    if predictions[pos] != y[i]:
+                        landed[i] = candidates[pos]
+                    else:
+                        step[i] /= 2.0
+                        still_searching.append(i)
+                searching = still_searching
+            landed_rows = [i for i in rows if i in landed]
+            if landed_rows:
+                projected = self._binary_search_rows(classifier, x, y, landed, landed_rows)
+                for i in landed_rows:
+                    current[i] = projected[i]
         return current

@@ -3,6 +3,14 @@
 A score-based attack: it never uses gradients, only the predicted class
 probabilities.  At each round a random working set of pixels is probed; the
 pixels whose perturbation most decreases the true-class probability are kept.
+
+Batched execution: every round issues one prediction call over the active set
+and one probability call over *all* active examples' pixel probes combined
+(``2 * candidates_per_round`` probes per example), instead of two calls per
+example per round.  Pixel draws come from per-example RNG streams
+(:meth:`~repro.attacks.base.Attack.example_rng`), so results are bit-for-bit
+those of the per-example loop at any batch size
+(:mod:`repro.attacks.batched`).
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, Classifier
+from repro.attacks.batched import ActiveSet
 
 
 class LocalSearchAttack(Attack):
@@ -25,6 +34,8 @@ class LocalSearchAttack(Attack):
         Number of best candidates committed each round.
     max_rounds:
         Round budget.
+    seed:
+        Entropy of the per-example RNG streams (see :class:`Attack`).
     """
 
     name = "lsa"
@@ -41,39 +52,60 @@ class LocalSearchAttack(Attack):
         self.candidates_per_round = int(candidates_per_round)
         self.pixels_per_round = int(pixels_per_round)
         self.max_rounds = int(max_rounds)
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        adversarial = np.empty_like(np.asarray(x, dtype=np.float32))
-        for i in range(len(x)):
-            adversarial[i] = self._attack_single(classifier, x[i], int(y[i]))
-        return adversarial
+        x_adv = np.asarray(x, dtype=np.float32).copy()
+        if not len(x_adv):  # empty victim slice: no-op (the model rejects N=0)
+            return x_adv
+        y = np.asarray(y, dtype=np.int64)
+        n = len(x_adv)
+        n_features = x_adv[0].size
+        rngs = [self.example_rng(i) for i in range(n)]
 
-    def _attack_single(self, classifier: Classifier, x: np.ndarray, label: int) -> np.ndarray:
-        x_adv = x.astype(np.float32).copy()
-        n_features = x_adv.size
+        active = ActiveSet(n)
         for _ in range(self.max_rounds):
-            if classifier.predict(x_adv[np.newaxis])[0] != label:
+            rows = active.indices
+            if not len(rows):
                 break
-            candidates = self.rng.choice(
-                n_features, size=min(self.candidates_per_round, n_features), replace=False
-            )
-            # probe each candidate pixel in both directions in one batch
-            probes = np.repeat(x_adv[np.newaxis], 2 * len(candidates), axis=0)
-            flat = probes.reshape(2 * len(candidates), -1)
-            for j, pixel in enumerate(candidates):
-                flat[2 * j, pixel] = np.clip(
-                    flat[2 * j, pixel] + self.perturbation, classifier.clip_min, classifier.clip_max
+            crossed = classifier.predict(x_adv[rows]) != y[rows]
+            active.retire(rows[crossed])
+            rows = rows[~crossed]
+            if not len(rows):
+                continue
+            # build every active example's probe block, then score them all
+            # with a single model call
+            probe_blocks = []
+            candidate_sets = []
+            for i in rows:
+                candidates = rngs[i].choice(
+                    n_features, size=min(self.candidates_per_round, n_features), replace=False
                 )
-                flat[2 * j + 1, pixel] = np.clip(
-                    flat[2 * j + 1, pixel] - self.perturbation,
-                    classifier.clip_min,
-                    classifier.clip_max,
-                )
-            scores = classifier.predict_proba(probes)[:, label]
-            order = np.argsort(scores)  # lowest true-class probability first
-            flat_adv = x_adv.reshape(-1)
-            for probe_idx in order[: self.pixels_per_round]:
-                pixel = candidates[probe_idx // 2]
-                flat_adv[pixel] = flat[probe_idx, pixel]
+                # probe each candidate pixel in both directions
+                probes = np.repeat(x_adv[i][np.newaxis], 2 * len(candidates), axis=0)
+                flat = probes.reshape(2 * len(candidates), -1)
+                for j, pixel in enumerate(candidates):
+                    flat[2 * j, pixel] = np.clip(
+                        flat[2 * j, pixel] + self.perturbation,
+                        classifier.clip_min,
+                        classifier.clip_max,
+                    )
+                    flat[2 * j + 1, pixel] = np.clip(
+                        flat[2 * j + 1, pixel] - self.perturbation,
+                        classifier.clip_min,
+                        classifier.clip_max,
+                    )
+                probe_blocks.append(probes)
+                candidate_sets.append(candidates)
+            probabilities = classifier.predict_proba(np.concatenate(probe_blocks))
+            offset = 0
+            for block, candidates, i in zip(probe_blocks, candidate_sets, rows):
+                scores = probabilities[offset : offset + len(block), y[i]]
+                offset += len(block)
+                order = np.argsort(scores)  # lowest true-class probability first
+                flat_probe = block.reshape(len(block), -1)
+                flat_adv = x_adv[i].reshape(-1)
+                for probe_idx in order[: self.pixels_per_round]:
+                    pixel = candidates[probe_idx // 2]
+                    flat_adv[pixel] = flat_probe[probe_idx, pixel]
         return x_adv

@@ -21,7 +21,10 @@ class PGD(Attack):
     steps:
         Number of gradient steps.
     random_start:
-        Start from a uniformly random point inside the ball.
+        Start from a uniformly random point inside the ball.  The start of
+        example ``i`` is drawn from its own RNG stream
+        (:meth:`~repro.attacks.base.Attack.example_rng`), so results are
+        invariant to the batch/shard the example is processed in.
     """
 
     name = "pgd"
@@ -42,13 +45,22 @@ class PGD(Attack):
         self.steps = int(steps)
         self.step_size = float(step_size) if step_size is not None else 2.5 * epsilon / steps
         self.random_start = random_start
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def perturb(self, classifier: Classifier, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if not len(x):  # empty victim slice: no-op (the model rejects N=0)
+            return x.copy()
         if self.random_start:
-            x_adv = x + self.rng.uniform(-self.epsilon, self.epsilon, size=x.shape).astype(np.float32)
-            x_adv = classifier.clip(x_adv)
+            noise = np.stack(
+                [
+                    self.example_rng(i)
+                    .uniform(-self.epsilon, self.epsilon, size=x[i].shape)
+                    .astype(np.float32)
+                    for i in range(len(x))
+                ]
+            )
+            x_adv = classifier.clip(x + noise)
         else:
             x_adv = x.copy()
         for _ in range(self.steps):

@@ -144,6 +144,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{kernels['fused_macs'] / 1e6:.1f}M fused MACs, "
             f"{kernels['weight_cache_hits']} weight-cache hits"
         )
+    queries = telemetry.attack_queries()
+    if queries.get("query_calls") or queries.get("gradient_calls"):
+        print(
+            f"# attack queries: {queries['query_samples']} samples over "
+            f"{queries['query_calls']} calls "
+            f"(mean batch {queries['mean_query_batch']}, "
+            f"{queries['query_calls_batch1']} at batch 1); "
+            f"gradients: {queries['gradient_samples']} over "
+            f"{queries['gradient_calls']} calls "
+            f"(mean batch {queries['mean_gradient_batch']})"
+        )
     return 0
 
 

@@ -37,6 +37,20 @@ ZOO = registry("zoo")
 #: default location of the trained-parameter cache
 CACHE_DIR = Path(os.environ.get("REPRO_DA_CACHE", Path.home() / ".cache" / "repro-da"))
 
+#: version tag folded into every trained-parameter cache filename.  Bump it
+#: whenever the *training numerics* change (forward/backward bit patterns --
+#: e.g. the batch-invariant GEMM rework), so stale caches trained under old
+#: numerics retrain instead of silently feeding new-code experiments weights
+#: a fresh checkout could never reproduce.  The cell cache has
+#: ``CELL_CACHE_VERSION`` for the same reason; this is its zoo counterpart.
+#: Version 2: batch-invariant forward/backward numerics (PR 4).
+ZOO_NUMERICS_VERSION = 2
+
+
+def zoo_cache_path(cache_name: str) -> Path:
+    """Where ``cache_name``'s trained parameters live (numerics-versioned)."""
+    return CACHE_DIR / f"{cache_name}_v{ZOO_NUMERICS_VERSION}.npz"
+
 #: digit dataset configuration (MNIST substitute)
 DIGITS_CONFIG = {"n_samples": 6000, "size": 16, "seed": 1}
 DIGITS_CONFIG_FAST = {"n_samples": 2000, "size": 16, "seed": 1}
@@ -89,11 +103,11 @@ def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -
     trains and saves, everyone else blocks and then loads the published file.
     """
     model = builder()
-    cache_path = CACHE_DIR / f"{cache_name}.npz"
+    cache_path = zoo_cache_path(cache_name)
     if _try_load(model, cache_path):
         return model
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    with FileLock(CACHE_DIR / f"{cache_name}.npz.lock"):
+    with FileLock(cache_path.with_name(cache_path.name + ".lock")):
         if _try_load(model, cache_path):  # trained elsewhere while we waited
             return model
         trainer(model)
@@ -197,7 +211,7 @@ def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
 
     exact_model, split = lenet_digits(fast=fast)
     victim_model = convert_to_approximate(exact_model) if victim == "da" else exact_model
-    cache_path = CACHE_DIR / f"substitute_{victim}_digits{_suffix(fast)}.npz"
+    cache_path = zoo_cache_path(f"substitute_{victim}_digits{_suffix(fast)}")
 
     def build() -> Sequential:
         return build_lenet5(

@@ -3,6 +3,28 @@
 All functions operate on ``float32`` arrays in ``(N, C, H, W)`` layout and come
 with analytic backward companions, which is what the gradient-based adversarial
 attacks (FGSM, PGD, JSMA, C&W, DeepFool) need.
+
+Batch invariance
+----------------
+Every *input-dependent* GEMM in this module is issued so that a given
+example's outputs (and input gradients) are bitwise independent of the batch
+it rode in with.  BLAS picks different micro-kernels -- with different
+floating-point reduction orders -- depending on the operand widths, so a
+naive ``x @ W.T`` at batch 1 does not reproduce the bits of the same row
+inside a batch-8 call.  Two constructions restore invariance:
+
+* convolutions contract ``weight @ cols[i]`` one example at a time: the GEMM
+  shape ``(F, K) x (K, L)`` is a constant of the layer geometry, so every
+  call -- whatever the batch size -- takes the identical BLAS path;
+* dense contractions go through :func:`batch_invariant_matmul`, which puts
+  the batch on the GEMM's *column* dimension and issues fixed-width,
+  zero-padded column blocks: each output column is then a pure function of
+  its own input column, independent of position and neighbours.
+
+Parameter-gradient GEMMs (``grad.T @ x``) reduce *over* the batch and are
+inherently batch-shaped; they only feed training and keep the fast fused
+path.  The batched attack engine (:mod:`repro.attacks.batched`) relies on
+this contract for its bit-for-bit active-set rollouts.
 """
 
 from __future__ import annotations
@@ -10,6 +32,50 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+#: column width of every :func:`batch_invariant_matmul` BLAS call.  Any fixed
+#: value works (calls of one constant shape always take one BLAS path); 32
+#: keeps the zero-padding waste of small active-set batches low while leaving
+#: per-call overhead negligible for wide evaluation batches.
+GEMM_COLUMN_BLOCK = 32
+
+
+def batch_invariant_matmul(a: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``a @ cols`` with bitwise column-stable results.
+
+    ``a`` is the fixed operand (weights), ``cols`` carries one example per
+    column.  The product is issued in :data:`GEMM_COLUMN_BLOCK`-wide column
+    blocks, the ragged tail zero-padded to the full width, so every BLAS call
+    has the same shape ``(M, K) x (K, block)`` and every output column gets
+    the same floating-point reduction order regardless of how many other
+    columns were in the caller's batch.
+    """
+    k, n = cols.shape
+    block = GEMM_COLUMN_BLOCK
+    if n == block:
+        return np.asarray(a @ cols, dtype=np.float32)
+    out = np.empty((a.shape[0], n), dtype=np.float32)
+    pad = None
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        if hi - lo == block:
+            out[:, lo:hi] = a @ cols[:, lo:hi]
+        else:
+            if pad is None:
+                pad = np.zeros((k, block), dtype=np.float32)
+            pad[:, : hi - lo] = cols[:, lo:hi]
+            out[:, lo:hi] = (a @ pad)[:, : hi - lo]
+    return out
+
+
+def linear_forward_values(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight.T`` computed batch-invariantly (batch on the column axis)."""
+    return batch_invariant_matmul(weight, x.T).T
+
+
+def linear_backward_values(grad_out: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``grad_out @ weight`` computed batch-invariantly."""
+    return batch_invariant_matmul(weight.T, grad_out.T).T
 
 
 # --------------------------------------------------------------------- im2col
@@ -96,20 +162,35 @@ def col2im(
 
 # ---------------------------------------------------------------- convolution
 def conv2d_forward(
-    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, stride: int = 1, padding: int = 0
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    batch_invariant: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact convolution forward pass.
 
     Returns ``(output, columns)`` where ``columns`` is the im2col buffer needed
-    by the backward pass.
+    by the backward pass.  ``batch_invariant=False`` (training-mode passes,
+    which are batch-shaped anyway through BatchNorm and the batch-mean loss)
+    keeps the fused whole-batch einsum instead of the per-example GEMMs.
     """
     n, _, h, w = x.shape
     f, _, kh, kw = weight.shape
     cols = im2col(x, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
     w_mat = weight.reshape(f, -1)  # (F, C*kh*kw)
-    out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+    out_h, out_w, l = conv_geometry(h, w, (kh, kw), stride, padding)
+    if batch_invariant:
+        # one (F, K) x (K, L) GEMM per example: the call shape is a constant
+        # of the layer geometry, so each example's output is bitwise
+        # independent of the batch size (see the module docstring)
+        out = np.empty((n, f, l), dtype=np.float32)
+        for i in range(n):
+            out[i] = w_mat @ cols[i]
+    else:
+        out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
     out += bias.reshape(1, f, 1)
-    out_h, out_w, _ = conv_geometry(h, w, (kh, kw), stride, padding)
     return out.reshape(n, f, out_h, out_w).astype(np.float32), cols
 
 
@@ -120,24 +201,45 @@ def conv2d_backward(
     weight: np.ndarray,
     stride: int = 1,
     padding: int = 0,
+    with_param_grads: bool = True,
+    batch_invariant: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Backward pass of :func:`conv2d_forward`.
 
-    Returns ``(grad_input, grad_weight, grad_bias)``.
+    Returns ``(grad_input, grad_weight, grad_bias)``; with
+    ``with_param_grads=False`` the parameter gradients are skipped (returned
+    as ``None``) -- the attack-facing input-gradient path never reads them.
+    ``batch_invariant=False`` (training) keeps the fused whole-batch einsum
+    for the column gradient.
     """
     n, f, out_h, out_w = grad_out.shape
     _, _, kh, kw = weight.shape
     grad_mat = grad_out.reshape(n, f, out_h * out_w)  # (N, F, L)
     w_mat = weight.reshape(f, -1)  # (F, K)
 
-    grad_weight = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True).reshape(weight.shape)
-    grad_bias = grad_out.sum(axis=(0, 2, 3))
-    grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat, optimize=True)
+    if with_param_grads:
+        # parameter gradients reduce over the batch (training-only; no batch
+        # invariance required) and keep the fused einsum path
+        grad_weight = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True).reshape(
+            weight.shape
+        )
+        grad_bias = grad_out.sum(axis=(0, 2, 3))
+    else:
+        grad_weight = grad_bias = None
+    if batch_invariant:
+        # the input gradient feeds the attacks' BPDA path: per-example GEMMs
+        # of constant shape (K, F) x (F, L), batch-invariant like the forward
+        grad_cols = np.empty_like(cols)
+        w_t = np.ascontiguousarray(w_mat.T)
+        for i in range(len(grad_mat)):
+            grad_cols[i] = w_t @ grad_mat[i]
+    else:
+        grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat, optimize=True)
     grad_input = col2im(grad_cols, x_shape, (kh, kw), stride, padding)
     return (
         grad_input.astype(np.float32),
-        grad_weight.astype(np.float32),
-        grad_bias.astype(np.float32),
+        grad_weight.astype(np.float32) if grad_weight is not None else None,
+        grad_bias.astype(np.float32) if grad_bias is not None else None,
     )
 
 
@@ -186,11 +288,31 @@ def relu_backward(grad_out: np.ndarray, mask: np.ndarray) -> np.ndarray:
     return (grad_out * mask).astype(np.float32)
 
 
+def row_sums(a: np.ndarray) -> np.ndarray:
+    """Per-row sums of a 2D array, bitwise independent of the row count.
+
+    ``a.sum(axis=-1)`` lets numpy pick a reduction strategy based on the
+    *outer* dimension, so the same row can sum to different bits inside a
+    batch-8 array than alone -- one 1D reduction per row always takes one
+    code path.  (Order-exact reductions -- ``max``, ``argmax``, ``argsort``
+    -- don't need this: only floating-point *accumulation* is order-
+    sensitive.)
+    """
+    out = np.empty(a.shape[0], dtype=a.dtype)
+    for i in range(a.shape[0]):
+        out[i] = a[i].sum()
+    return out
+
+
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
+    """Numerically stable softmax (batch-invariant along the class axis)."""
     z = logits - logits.max(axis=axis, keepdims=True)
     e = np.exp(z)
-    return (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)
+    if e.ndim == 2 and axis in (-1, 1):
+        denominator = row_sums(e)[:, np.newaxis]
+    else:  # pragma: no cover - no 2D class axis to stabilise
+        denominator = e.sum(axis=axis, keepdims=True)
+    return (e / denominator).astype(np.float32)
 
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -8,6 +8,7 @@ networks are evaluated layer-by-layer in sequence (see
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from itertools import count
 from typing import Dict, List, Optional, Tuple
 
@@ -15,6 +16,30 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.init import he_normal, zeros
+
+
+#: when False, layer backward passes compute only the *input* gradient and
+#: skip parameter-gradient accumulation.  Toggled via :func:`no_param_grads`.
+_ACCUMULATE_PARAM_GRADS = True
+
+
+@contextmanager
+def no_param_grads():
+    """Skip parameter-gradient accumulation inside the context.
+
+    The attack-facing gradient paths (BPDA / white-box input gradients,
+    :class:`repro.attacks.base.Classifier`) only consume the gradient w.r.t.
+    the *input*; the weight/bias gradient GEMMs are pure waste there and are
+    some of the largest per-sample costs of a backward pass.  Training code
+    never uses this context, so optimisers see normal accumulation.
+    """
+    global _ACCUMULATE_PARAM_GRADS
+    previous = _ACCUMULATE_PARAM_GRADS
+    _ACCUMULATE_PARAM_GRADS = False
+    try:
+        yield
+    finally:
+        _ACCUMULATE_PARAM_GRADS = previous
 
 
 #: process-wide source of parameter version numbers; drawing every version
@@ -128,7 +153,14 @@ class Conv2d(Module):
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, cols = F.conv2d_forward(x, self.weight.value, self.bias.value, self.stride, self.padding)
+        out, cols = F.conv2d_forward(
+            x,
+            self.weight.value,
+            self.bias.value,
+            self.stride,
+            self.padding,
+            batch_invariant=not self.training,
+        )
         self._cache = (cols, x.shape)
         return out
 
@@ -137,10 +169,18 @@ class Conv2d(Module):
             raise RuntimeError("backward called before forward")
         cols, x_shape = self._cache
         grad_in, grad_w, grad_b = F.conv2d_backward(
-            grad_out, cols, x_shape, self.weight.value, self.stride, self.padding
+            grad_out,
+            cols,
+            x_shape,
+            self.weight.value,
+            self.stride,
+            self.padding,
+            with_param_grads=_ACCUMULATE_PARAM_GRADS,
+            batch_invariant=not self.training,
         )
-        self.weight.grad += grad_w
-        self.bias.grad += grad_b
+        if _ACCUMULATE_PARAM_GRADS:
+            self.weight.grad += grad_w
+            self.bias.grad += grad_b
         return grad_in
 
     def parameters(self) -> List[Parameter]:
@@ -175,15 +215,28 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._cache = x
-        return (x @ self.weight.value.T + self.bias.value).astype(np.float32)
+        if self.training:
+            # training passes are batch-shaped anyway (BatchNorm, batch-mean
+            # loss): keep the single fused GEMM
+            out = x @ self.weight.value.T
+        else:
+            # batch-invariant contraction: each row's logits are bitwise
+            # independent of the batch size (see repro.nn.functional docstring)
+            out = F.linear_forward_values(x, self.weight.value)
+        return (out + self.bias.value).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x = self._cache
-        self.weight.grad += grad_out.T @ x
-        self.bias.grad += grad_out.sum(axis=0)
-        return (grad_out @ self.weight.value).astype(np.float32)
+        if _ACCUMULATE_PARAM_GRADS:
+            self.weight.grad += grad_out.T @ x
+            self.bias.grad += grad_out.sum(axis=0)
+        if self.training:
+            grad_in = grad_out @ self.weight.value
+        else:
+            grad_in = F.linear_backward_values(grad_out, self.weight.value)
+        return grad_in.astype(np.float32)
 
     def parameters(self) -> List[Parameter]:
         return [self.weight, self.bias]
@@ -316,8 +369,9 @@ class BatchNorm2d(Module):
         x_hat = self._cache["x_hat"]
         std = self._cache["std"]
         was_training = bool(self._cache["training"])
-        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
-        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        if _ACCUMULATE_PARAM_GRADS:
+            self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+            self.beta.grad += grad_out.sum(axis=(0, 2, 3))
         gamma_b = self.gamma.value.reshape(1, -1, 1, 1)
         if not was_training:
             # running statistics are constants w.r.t. the input

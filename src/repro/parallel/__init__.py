@@ -5,9 +5,10 @@ The subsystem sits between spec resolution and execution:
 * :mod:`repro.parallel.plan` -- resolves experiments into a deduplicated
   graph of :class:`~repro.parallel.plan.CellTask` (sibling experiments that
   share cells compute each cell exactly once per run);
-* :mod:`repro.parallel.sharding` -- deterministic decomposition of a cell
-  over victim examples, with per-shard RNG seeds spawned via
-  ``np.random.SeedSequence`` so ``--jobs N`` is bit-for-bit ``--jobs 1``;
+* :mod:`repro.parallel.sharding` -- decomposition of a cell over victim
+  examples; attacks draw per-example ``np.random.SeedSequence`` streams
+  keyed by global victim index, so ``--jobs N`` *and* any shard size are
+  bit-for-bit ``--jobs 1``;
 * :mod:`repro.parallel.engine` -- the process pool that executes shards and
   merges them, with pre-fork model warm-up and per-process worker runners;
 * :mod:`repro.parallel.locks` -- advisory file locks and atomic tmp+rename
@@ -45,11 +46,12 @@ __all__ = [
     "RunTelemetry",
     # lazy (see __getattr__)
     "DEFAULT_SHARD_SIZE",
+    "attack_shard_size",
+    "cell_seed",
+    "cell_seed_sequence",
     "n_shards",
     "resolve_jobs",
     "shard_bounds",
-    "shard_seed",
-    "shard_seed_sequence",
     "ParallelEngine",
     "CellExecutionError",
     "CellTask",
@@ -61,11 +63,12 @@ __all__ = [
 
 _LAZY = {
     "DEFAULT_SHARD_SIZE": "repro.parallel.sharding",
+    "attack_shard_size": "repro.parallel.sharding",
+    "cell_seed": "repro.parallel.sharding",
+    "cell_seed_sequence": "repro.parallel.sharding",
     "n_shards": "repro.parallel.sharding",
     "resolve_jobs": "repro.parallel.sharding",
     "shard_bounds": "repro.parallel.sharding",
-    "shard_seed": "repro.parallel.sharding",
-    "shard_seed_sequence": "repro.parallel.sharding",
     "ParallelEngine": "repro.parallel.engine",
     "CellExecutionError": "repro.parallel.engine",
     "CellTask": "repro.parallel.plan",

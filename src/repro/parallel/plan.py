@@ -91,7 +91,7 @@ def build_plan(runner, specs: List[Any]) -> ExecutionPlan:
             digests.append(digest)
             if digest not in tasks:
                 kind = get_cell_kind(request.kind)
-                n_shards = kind.n_shards(request.payload)
+                n_shards = kind.n_shards(runner, request.payload)
                 tasks[digest] = CellTask(
                     kind=request.kind,
                     payload=request.payload,

@@ -1,17 +1,20 @@
 """Deterministic sharding of a cell's victim samples.
 
 The expensive attack-evaluation cells (transferability / blackbox / whitebox)
-are decomposed into fixed-size *shards* of victim examples.  The shard layout
-and every shard's RNG seed depend only on the cell payload -- never on how
-many worker processes execute them -- so running the shards serially
-(``--jobs 1``) or spread over a pool (``--jobs N``) is bit-for-bit identical:
-the sharded decomposition *is* the canonical definition of the cell.
+are decomposed into fixed-size *shards* of victim examples.  Since the
+batched attack engine, the shard size is **pure execution tuning**: attacks
+draw per-example RNG streams keyed by each victim's *global* index
+(``SeedSequence(entropy=cell_seed(payload), spawn_key=(victim_index,))``,
+see :class:`repro.attacks.base.Attack`), and the model facade is
+batch-invariant, so any shard size -- like any ``--jobs`` value -- produces
+bit-for-bit identical cell values.  The shard size is therefore *not* part
+of the cell payload/cache key; pick it for throughput
+(``REPRO_ATTACK_SHARD_SIZE``), not for reproducibility.
 
-Per-shard RNG seeds are spawned from the payload digest with
-``np.random.SeedSequence``: shard ``i`` uses ``SeedSequence(entropy,
-spawn_key=(i,))``, which is exactly the ``i``-th child
-``SeedSequence(entropy).spawn(n)`` would produce -- but constructible without
-knowing ``n``, so a shard's seed never depends on its siblings.
+Historically (PR 2) each shard re-seeded its attack from the payload digest
+and the shard index; that made ``--jobs N`` match ``--jobs 1`` but baked the
+shard size into the results.  The per-example spawning beneath
+:func:`cell_seed` replaces that scheme.
 """
 
 from __future__ import annotations
@@ -36,10 +39,27 @@ def resolve_jobs(jobs: Any) -> int:
             return max(1, os.cpu_count() or 1)
     return max(1, int(jobs))
 
-#: victim examples per shard of an attack-evaluation cell.  Part of the cell
-#: protocol: changing it changes shard RNG streams (and therefore stochastic
-#: attack results), which is why the value is recorded in each cell payload.
-DEFAULT_SHARD_SIZE = 4
+#: default victim examples per shard of an attack-evaluation cell.  Raised
+#: from 4 to 8 when the attacks became batched active-set rollouts: a bigger
+#: shard now amortises per-call model overhead instead of just lowering the
+#: shard count.  Results are invariant to the value (see module docstring).
+DEFAULT_SHARD_SIZE = 8
+
+
+def attack_shard_size() -> int:
+    """The configured attack shard size (env ``REPRO_ATTACK_SHARD_SIZE``).
+
+    Execution policy only -- results are bit-for-bit identical for every
+    value.  Smaller shards expose more parallelism to ``--jobs``; larger
+    shards amortise per-call model overhead harder within each worker.
+    Invalid or unset values fall back to :data:`DEFAULT_SHARD_SIZE`.
+    """
+    raw = os.environ.get("REPRO_ATTACK_SHARD_SIZE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SHARD_SIZE
+    return value if value >= 1 else DEFAULT_SHARD_SIZE
 
 
 def n_shards(n_samples: int, shard_size: int) -> int:
@@ -63,21 +83,20 @@ def shard_bounds(n_available: int, shard_size: int, shard_index: int) -> Tuple[i
     return lo, hi
 
 
-def shard_seed_sequence(payload: dict, shard_index: int) -> np.random.SeedSequence:
-    """The RNG root for shard ``shard_index`` of the cell described by ``payload``.
+def cell_seed_sequence(payload: dict) -> np.random.SeedSequence:
+    """The cell-level RNG root: a pure function of the payload, shard-free.
 
-    The entropy is derived from the canonical payload digest, so equal cells
-    get equal streams and any payload change (attack params, sample budget,
-    shard size) re-randomises every shard.
+    Attacks spawn per-example streams beneath it
+    (``spawn_key=(victim_index,)``), so the stream of victim ``j`` is the
+    same whichever shard -- of whatever size -- processes it.
     """
     # imported lazily: this module must stay importable while repro.pipeline
     # (whose spec module owns the canonical digest) is still initialising
     from repro.pipeline.spec import canonical_digest
 
-    entropy = int(canonical_digest(payload)[:32], 16)
-    return np.random.SeedSequence(entropy=entropy, spawn_key=(int(shard_index),))
+    return np.random.SeedSequence(entropy=int(canonical_digest(payload)[:32], 16))
 
 
-def shard_seed(payload: dict, shard_index: int) -> int:
-    """A 32-bit integer seed for shard ``shard_index`` (fed to attack ``seed=``)."""
-    return int(shard_seed_sequence(payload, shard_index).generate_state(1)[0])
+def cell_seed(payload: dict) -> int:
+    """Integer entropy for a cell's attack (fed to the attack's ``seed=``)."""
+    return int(cell_seed_sequence(payload).generate_state(1)[0])

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.arith.kernels import KERNEL_STATS
+from repro.attacks.base import QUERY_STATS
 
 
 @dataclass
@@ -51,6 +52,12 @@ class RunTelemetry:
     #: with ``jobs > 1`` the pool workers' activity is not folded in (each
     #: worker keeps its own), so parallel runs mostly show planning-side use.
     kernel_mark: Dict[str, int] = field(default_factory=KERNEL_STATS.snapshot)
+    #: classifier call-batch-size counters at run start (same per-process
+    #: caveat).  The delta shows how well the batched attack engine amortised
+    #: model calls -- calls at batch 1 vs batched, mean query batch -- and
+    #: covers only calls issued during attack execution (evaluation traffic
+    #: such as victim-selection scans is excluded by the counter's scope).
+    query_mark: Dict[str, int] = field(default_factory=QUERY_STATS.snapshot)
 
     def record(self, event: CellEvent) -> CellEvent:
         self.events.append(event)
@@ -89,6 +96,27 @@ class RunTelemetry:
             f"{event.digest[:10]}: {detail}"
         )
 
+    def attack_queries(self) -> Dict[str, Any]:
+        """This run's classifier call batch-size histogram (process-local).
+
+        ``query_calls_batch1`` / ``query_calls_batched`` split prediction
+        calls into degenerate single-example calls and genuinely batched
+        ones; ``mean_query_batch`` / ``mean_gradient_batch`` are the mean
+        samples advanced per model call.
+        """
+        delta = QUERY_STATS.delta(self.query_mark)
+        delta["query_calls_batched"] = delta["query_calls"] - delta["query_calls_batch1"]
+        delta["gradient_calls_batched"] = (
+            delta["gradient_calls"] - delta["gradient_calls_batch1"]
+        )
+        delta["mean_query_batch"] = round(
+            delta["query_samples"] / delta["query_calls"], 2
+        ) if delta["query_calls"] else 0.0
+        delta["mean_gradient_batch"] = round(
+            delta["gradient_samples"] / delta["gradient_calls"], 2
+        ) if delta["gradient_calls"] else 0.0
+        return delta
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able summary embedded in experiment results."""
         return {
@@ -99,5 +127,6 @@ class RunTelemetry:
             "cache_misses": self.cache_misses,
             "compute_seconds": round(self.compute_seconds, 4),
             "kernels": KERNEL_STATS.delta(self.kernel_mark),
+            "attack_queries": self.attack_queries(),
             "cells": [e.to_dict() for e in self.events],
         }

@@ -11,13 +11,16 @@ and the payload and resolve models/attacks through their own registries.
 Sharding
 --------
 The expensive attack-evaluation kinds (``transferability``, ``blackbox``,
-``whitebox``) are decomposed over victim examples into fixed-size shards (see
-:mod:`repro.parallel.sharding`).  Each shard instantiates its own attack,
-seeded from the payload digest and the shard index via
-``np.random.SeedSequence`` spawning, and returns integer counts / per-sample
-statistics; :meth:`CellKind.merge` folds the ordered shard results into the
-cell value.  The serial path executes the *same* shards in the *same* order,
-so ``--jobs N`` is bit-for-bit identical to ``--jobs 1`` by construction.
+``whitebox``) are decomposed over victim examples into shards (see
+:mod:`repro.parallel.sharding`).  Each shard instantiates its own attack --
+seeded from the payload digest, with the shard's global start offset telling
+the attack which per-example ``SeedSequence`` streams its victims own -- and
+returns integer counts / per-sample statistics; :meth:`CellKind.merge` folds
+the ordered shard results into the cell value.  Because attacks advance
+whole shards as batched active-set rollouts with per-example RNG streams and
+a batch-invariant model facade, the shard size is pure execution tuning: any
+size (``Runner(shard_size=...)`` / ``REPRO_ATTACK_SHARD_SIZE``), like any
+``--jobs`` value, produces bit-for-bit identical cell values.
 """
 
 from __future__ import annotations
@@ -38,8 +41,9 @@ from repro.core.metrics import l2_distance, mse, psnr
 from repro.nn.approx import ApproxConv2d, prime_gemm_kernels
 from repro.nn.layers import Conv2d
 from repro.nn.training import evaluate_accuracy
+from repro.parallel.sharding import cell_seed
 from repro.parallel.sharding import n_shards as _shard_count
-from repro.parallel.sharding import shard_bounds, shard_seed
+from repro.parallel.sharding import shard_bounds
 from repro.pipeline.spec import ExperimentSpec
 from repro.registry import registry
 
@@ -63,12 +67,17 @@ class CellKind:
     name: str
     shard_fn: Callable[[Any, Dict[str, Any], int], Dict[str, Any]]
     merge_fn: Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]
-    shards_fn: Callable[[Dict[str, Any]], int]
+    shards_fn: Callable[[Any, Dict[str, Any]], int]
     warm_fn: Optional[Callable[[Any, Dict[str, Any]], None]] = None
 
-    def n_shards(self, payload: Dict[str, Any]) -> int:
-        """How many shards the cell decomposes into (payload-determined)."""
-        return max(1, int(self.shards_fn(payload)))
+    def n_shards(self, runner, payload: Dict[str, Any]) -> int:
+        """How many shards the cell decomposes into.
+
+        Determined by the payload's sample budget and the runner's shard
+        size -- an execution parameter, not cell content: every shard layout
+        merges to the same value.
+        """
+        return max(1, int(self.shards_fn(runner, payload)))
 
     def compute_shard(self, runner, payload: Dict[str, Any], shard_index: int) -> Dict[str, Any]:
         """Compute one shard; safe to run in any process, in any order."""
@@ -81,7 +90,8 @@ class CellKind:
     def compute(self, runner, payload: Dict[str, Any]) -> Dict[str, Any]:
         """The canonical (serial) cell computation: every shard, in order."""
         shards = [
-            self.compute_shard(runner, payload, i) for i in range(self.n_shards(payload))
+            self.compute_shard(runner, payload, i)
+            for i in range(self.n_shards(runner, payload))
         ]
         return self.merge(payload, shards)
 
@@ -97,7 +107,7 @@ def register_cell_kind(
     compute: Optional[Callable[[Any, Dict[str, Any]], Dict[str, Any]]] = None,
     shard: Optional[Callable[[Any, Dict[str, Any], int], Dict[str, Any]]] = None,
     merge: Optional[Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]] = None,
-    shards: Optional[Callable[[Dict[str, Any]], int]] = None,
+    shards: Optional[Callable[[Any, Dict[str, Any]], int]] = None,
     warm: Optional[Callable[[Any, Dict[str, Any]], None]] = None,
 ) -> CellKind:
     """Register a cell kind, either single-shot (``compute``) or sharded."""
@@ -106,7 +116,7 @@ def register_cell_kind(
             name=name,
             shard_fn=lambda runner, payload, _index, _fn=compute: _fn(runner, payload),
             merge_fn=lambda _payload, results: results[0],
-            shards_fn=lambda _payload: 1,
+            shards_fn=lambda _runner, _payload: 1,
             warm_fn=warm,
         )
     else:
@@ -131,19 +141,24 @@ def _payload_spec(payload: Dict[str, Any]) -> ExperimentSpec:
     return ExperimentSpec(name="__cell__", kind="cell", model=payload.get("model", ""), params=params)
 
 
-def _seeded_attack(payload: Dict[str, Any], shard_index: int) -> Attack:
-    """Instantiate the payload's attack, seeding stochastic ones per shard.
+def _seeded_attack(payload: Dict[str, Any], victim_offset: int) -> Attack:
+    """Instantiate the payload's attack for the shard starting at ``victim_offset``.
 
-    The seed is spawned from the payload digest and the shard index, so it is
-    a pure function of cell content -- identical whether the shard runs in the
-    main process or a pool worker.  An explicit ``seed`` in the grid entry's
-    params wins (all shards then share it).
+    Stochastic attacks get a *cell-level* seed (a pure function of the
+    payload digest, identical for every shard) and the shard's global victim
+    offset; from those they spawn one ``SeedSequence`` stream per example,
+    keyed by the victim's global index -- so the same victim sees the same
+    noise whichever shard, of whatever size, processes it, in whichever
+    process.  An explicit ``seed`` in the grid entry's params becomes the
+    stream entropy instead.
     """
     name = payload["attack"]
     params = dict(payload.get("params", {}))
     if "seed" not in params and _attack_accepts_seed(name):
-        params["seed"] = shard_seed(payload, shard_index)
-    return ATTACKS.create(name, **params)
+        params["seed"] = cell_seed(payload)
+    attack = ATTACKS.create(name, **params)
+    attack.seed_offset = int(victim_offset)
+    return attack
 
 
 def _attack_accepts_seed(name: str) -> bool:
@@ -176,7 +191,9 @@ def _shard_samples(
     The selection is identical in every shard (a deterministic prefix of the
     test stream) and memoised per process under ``selector_key`` -- the first
     shard a process computes pays for the capped prediction scan, its
-    siblings reuse the indices.
+    siblings reuse the indices.  Returns ``(images, labels, offset)`` where
+    ``offset`` is the shard's start position in the victim stream (the
+    per-example RNG spawn base).
     """
     spec = _payload_spec(payload)
     split = runner.split(spec)
@@ -186,13 +203,13 @@ def _shard_samples(
         indices = _SELECTION_CACHE[key] = select_correctly_classified(
             classifier, split.test.images, split.test.labels, payload["n_samples"]
         )
-    lo, hi = shard_bounds(len(indices), payload["shard_size"], shard_index)
+    lo, hi = shard_bounds(len(indices), runner.shard_size, shard_index)
     picked = indices[lo:hi]
-    return split.test.images[picked], split.test.labels[picked]
+    return split.test.images[picked], split.test.labels[picked], lo
 
 
-def _attack_shards(payload: Dict[str, Any]) -> int:
-    return _shard_count(payload["n_samples"], payload["shard_size"])
+def _attack_shards(runner, payload: Dict[str, Any]) -> int:
+    return _shard_count(payload["n_samples"], runner.shard_size)
 
 
 def _ratio(numerator: int, denominator: int) -> float:
@@ -228,7 +245,7 @@ def _transferability_shard(runner, payload: Dict[str, Any], shard_index: int) ->
     spec = _payload_spec(payload)
     source = runner.classifier(spec, payload["source"])
     selector = ("source", payload["source"], payload.get("dq_zoo"))
-    x, y = _shard_samples(runner, payload, source, shard_index, selector)
+    x, y, offset = _shard_samples(runner, payload, source, shard_index, selector)
     out: Dict[str, Any] = {
         "n": int(len(x)),
         "n_fooled": 0,
@@ -236,7 +253,7 @@ def _transferability_shard(runner, payload: Dict[str, Any], shard_index: int) ->
     }
     if not len(x):
         return out
-    result = _seeded_attack(payload, shard_index).generate(source, x, y)
+    result = _seeded_attack(payload, offset).generate(source, x, y)
     adv = result.adversarial[result.success]
     adv_labels = y[result.success]
     out["n_fooled"] = int(result.success.sum())
@@ -275,11 +292,11 @@ def _blackbox_shard(runner, payload: Dict[str, Any], shard_index: int) -> Dict[s
     spec = _payload_spec(payload)
     substitute = Classifier(runner.zoo(payload["substitute"], victim=payload["victim"]))
     selector = ("substitute", payload["substitute"], payload["victim"])
-    x, y = _shard_samples(runner, payload, substitute, shard_index, selector)
+    x, y, offset = _shard_samples(runner, payload, substitute, shard_index, selector)
     out = {"n": int(len(x)), "n_fooled": 0, "n_victim_fooled": 0}
     if not len(x):
         return out
-    result = _seeded_attack(payload, shard_index).generate(substitute, x, y)
+    result = _seeded_attack(payload, offset).generate(substitute, x, y)
     adv = result.adversarial[result.success]
     adv_labels = y[result.success]
     out["n_fooled"] = int(result.success.sum())
@@ -319,11 +336,11 @@ def _whitebox_shard(runner, payload: Dict[str, Any], shard_index: int) -> Dict[s
     spec = _payload_spec(payload)
     victim = runner.classifier(spec, payload["victim"])
     selector = ("victim", payload["victim"], payload.get("dq_zoo"))
-    x, y = _shard_samples(runner, payload, victim, shard_index, selector)
+    x, y, offset = _shard_samples(runner, payload, victim, shard_index, selector)
     out: Dict[str, Any] = {"n": int(len(x)), "n_success": 0, "l2": [], "mse": [], "psnr": []}
     if not len(x):
         return out
-    result = _seeded_attack(payload, shard_index).generate(victim, x, y)
+    result = _seeded_attack(payload, offset).generate(victim, x, y)
     adv = result.adversarial[result.success]
     clean = x[result.success]
     out["n_success"] = int(result.success.sum())

@@ -66,13 +66,18 @@ def register_kind(name: str, plan: PlanFn, assemble: AssembleFn) -> KindHandler:
 
 # ------------------------------------------------------------ attack grids
 def _attack_payload(runner: Runner, spec: ExperimentSpec, entry) -> Dict[str, Any]:
-    """The payload fields shared by all attack-evaluation cells."""
+    """The payload fields shared by all attack-evaluation cells.
+
+    Deliberately excludes the shard size: since the batched attack engine,
+    sharding is pure execution tuning (per-example RNG streams are keyed by
+    global victim index), so it is no longer cell content and must not
+    invalidate cached artifacts.
+    """
     return {
         "model": spec.model,
         "attack": entry.attack,
         "params": runner.attack_params(entry),
         "n_samples": runner.sample_budget(spec),
-        "shard_size": runner.shard_size,
     }
 
 

@@ -42,7 +42,7 @@ from repro.core.results import format_table
 from repro.experiments.zoo import CACHE_DIR, ZOO
 from repro.nn.models import VARIANTS
 from repro.parallel.locks import FileLock, atomic_write_json, atomic_write_text
-from repro.parallel.sharding import DEFAULT_SHARD_SIZE, resolve_jobs
+from repro.parallel.sharding import attack_shard_size, resolve_jobs
 from repro.parallel.telemetry import CellEvent, RunTelemetry
 from repro.pipeline.cells import get_cell_kind
 from repro.pipeline.spec import AttackGridEntry, ExperimentSpec, canonical_digest
@@ -66,7 +66,16 @@ EXPERIMENT_KINDS = registry("experiment-kind")
 #: (the Figure 4 response curves) and approximate-dense ablations now
 #: accumulate as a strict left fold instead of numpy's pairwise
 #: contiguous-axis sum, which can move a few low-order mantissa bits.
-CELL_CACHE_VERSION = 3
+#: Version 4: the batched attack engine -- model forward/backward GEMMs
+#: became batch-invariant (per-example conv GEMMs, fixed-width dense column
+#: blocks, loop-free softmax denominators), the loss gradient dropped its
+#: ``/N * N`` batch-mean roundtrip, stochastic attacks draw per-example
+#: ``SeedSequence`` streams keyed by global victim index (shard size left
+#: the payload: it no longer affects results), and C&W's constant
+#: escalation retires solved examples per-example.  The per-attack parity
+#: suite (``tests/test_attack_parity.py``) pins the new canonical semantics:
+#: batched rollouts are bit-for-bit the per-example loops.
+CELL_CACHE_VERSION = 4
 
 #: attack sample budget applied by ``--fast``
 FAST_MAX_SAMPLES = 4
@@ -194,8 +203,10 @@ class Runner:
         the CPU count.  ``jobs=1`` (the default) executes serially in this
         process; any value produces bit-for-bit identical results.
     shard_size:
-        Victim examples per shard of the attack-evaluation cells.  Part of
-        the cell cache key -- changing it re-randomises stochastic attacks.
+        Victim examples per shard (= per batched attack rollout) of the
+        attack-evaluation cells.  Execution tuning only: results are
+        bit-for-bit identical for every value, exactly like ``jobs``.
+        Defaults to the ``REPRO_ATTACK_SHARD_SIZE`` policy.
     """
 
     def __init__(
@@ -206,7 +217,7 @@ class Runner:
         use_cache: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         jobs: Union[int, str, None] = 1,
-        shard_size: int = DEFAULT_SHARD_SIZE,
+        shard_size: Optional[int] = None,
     ):
         self.fast = bool(fast)
         self.results_dir = Path(results_dir) if results_dir is not None else None
@@ -216,7 +227,7 @@ class Runner:
         self.use_cache = bool(use_cache)
         self.progress = progress
         self.jobs = resolve_jobs(jobs)
-        self.shard_size = max(1, int(shard_size))
+        self.shard_size = attack_shard_size() if shard_size is None else max(1, int(shard_size))
         # per-run counters; reset at the start of every run()/run_many()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -254,14 +265,16 @@ class Runner:
                 f"cells={len(eplan.requests)} jobs={self.jobs}"
             )
         outcomes = self._compute_cells(plan)
-        # cell compute is shared across the run's experiments, so kernel
-        # activity cannot be attributed per experiment: every result carries
-        # the same run-scoped counter delta, marked as such
+        # cell compute is shared across the run's experiments, so kernel and
+        # query activity cannot be attributed per experiment: every result
+        # carries the same run-scoped counter delta, marked as such
         kernel_delta = {"scope": "run", **KERNEL_STATS.delta(self.telemetry.kernel_mark)}
+        query_delta = {"scope": "run", **self.telemetry.attack_queries()}
         results = []
         for eplan in plan.experiments:
             result = self._assemble(eplan, plan, outcomes)
             result.telemetry["kernels"] = dict(kernel_delta)
+            result.telemetry["attack_queries"] = dict(query_delta)
             if self.results_dir is not None:
                 result.write(self.results_dir)
             if on_result is not None:
@@ -504,7 +517,7 @@ class Runner:
         from repro.parallel.plan import CellOutcome
 
         kind = None if compute is not None else get_cell_kind(cell_kind)
-        shards = 1 if kind is None else kind.n_shards(payload)
+        shards = 1 if kind is None else kind.n_shards(self, payload)
         value = self.read_cell(cell_kind, payload, digest)
         if value is not None:
             return CellOutcome(value, "hit", 0.0, shards)

@@ -1,0 +1,356 @@
+"""Frozen per-example reference implementations of the batched attacks.
+
+These are the pre-batching attack loops, kept verbatim as the parity oracle
+for the active-set engine (:mod:`repro.attacks.batched`) and as the timing
+baseline of ``benchmarks/perf_attacks.py``: one victim example at a time,
+one classifier call per probe/gradient.  The only change from the historical
+code is that the stochastic attacks take an explicit per-example
+``np.random.Generator`` instead of owning one shared stream -- the batched
+engine's determinism contract is *per-example* streams spawned as
+``SeedSequence(entropy=seed, spawn_key=(seed_offset + i,))``, and
+:func:`reference_perturb` spawns them exactly that way.
+
+Do not "improve" these implementations: their floating-point expressions,
+call order and query pattern define what bit-for-bit parity means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def example_seed_sequence(seed, offset: int, i: int) -> np.random.SeedSequence:
+    """The RNG stream root of victim example ``offset + i`` (engine contract)."""
+    return np.random.SeedSequence(entropy=seed, spawn_key=(offset + int(i),))
+
+
+def reference_perturb(attack_name, classifier, x, y, params=None, seed=0, seed_offset=0):
+    """Run the per-example reference loop of ``attack_name`` over a batch."""
+    params = dict(params or {})
+    single = {
+        "deepfool": _deepfool_single,
+        "cw": _cw_single,
+        "jsma": _jsma_single,
+        "lsa": _lsa_single,
+        "boundary": _boundary_single,
+        "hsj": _hsj_single,
+    }[attack_name]
+    x = np.asarray(x, dtype=np.float32)
+    adversarial = np.empty_like(x)
+    for i in range(len(x)):
+        rng = np.random.default_rng(example_seed_sequence(seed, seed_offset, i))
+        adversarial[i] = single(classifier, x[i], int(y[i]), rng=rng, **params)
+    return adversarial
+
+
+# ---------------------------------------------------------------- deepfool
+def _deepfool_single(
+    classifier, x, label, rng, max_iterations=50, overshoot=0.02, num_candidate_classes=10
+):
+    x0 = x[np.newaxis].astype(np.float32)
+    logits = classifier.predict_logits(x0)[0]
+    n_classes = logits.shape[0]
+    k = min(num_candidate_classes, n_classes)
+    candidates = np.argsort(logits)[::-1][:k]
+    candidates = [c for c in candidates if c != label]
+
+    x_adv = x0.copy()
+    total_perturbation = np.zeros_like(x0)
+    for _ in range(max_iterations):
+        logits = classifier.predict_logits(x_adv)[0]
+        if logits.argmax() != label:
+            break
+        grad_true = classifier.class_gradient(x_adv, np.array([label]))[0]
+        best_ratio = np.inf
+        best_direction = None
+        for c in candidates:
+            grad_c = classifier.class_gradient(x_adv, np.array([c]))[0]
+            w = grad_c - grad_true
+            f = logits[c] - logits[label]
+            w_norm = np.linalg.norm(w.ravel()) + 1e-12
+            ratio = abs(f) / w_norm
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best_direction = (abs(f) + 1e-6) * w / (w_norm ** 2)
+        if best_direction is None:
+            break
+        total_perturbation += best_direction
+        x_adv = classifier.clip(x0 + (1.0 + overshoot) * total_perturbation)
+    return x_adv[0]
+
+
+# -------------------------------------------------------- carlini & wagner
+def _cw_optimise(classifier, x, y, const, confidence, learning_rate, max_iterations):
+    lo, hi = classifier.clip_min, classifier.clip_max
+    span = hi - lo
+    x_scaled = np.clip((x - lo) / span, 1e-6, 1.0 - 1e-6)
+    w = np.arctanh(2.0 * x_scaled - 1.0).astype(np.float32)
+
+    n = len(x)
+    n_classes = classifier.num_classes
+    one_hot = np.zeros((n, n_classes), dtype=np.float32)
+    one_hot[np.arange(n), y] = 1.0
+
+    m = np.zeros_like(w)
+    v = np.zeros_like(w)
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+    for t in range(1, max_iterations + 1):
+        x_adv = (np.tanh(w) + 1.0) / 2.0 * span + lo
+        logits = classifier.predict_logits(x_adv)
+        true_logit = (logits * one_hot).sum(axis=1)
+        other_logit = (logits - 1e9 * one_hot).max(axis=1)
+        margin = true_logit - other_logit + confidence
+        attack_active = margin > 0
+
+        grad_logits = np.zeros_like(logits)
+        rows = np.arange(n)
+        other_idx = (logits - 1e9 * one_hot).argmax(axis=1)
+        grad_logits[rows, y] = 1.0
+        grad_logits[rows, other_idx] -= 1.0
+        grad_logits *= (const * attack_active)[:, np.newaxis]
+        grad_from_margin = classifier.logits_gradient(x_adv, grad_logits)
+
+        grad_from_l2 = 2.0 * (x_adv - x)
+        grad_x = grad_from_l2 + grad_from_margin
+        grad_w = grad_x * (1.0 - np.tanh(w) ** 2) * (span / 2.0)
+
+        m = beta1 * m + (1 - beta1) * grad_w
+        v = beta2 * v + (1 - beta2) * grad_w ** 2
+        m_hat = m / (1 - beta1 ** t)
+        v_hat = v / (1 - beta2 ** t)
+        w = w - learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    return classifier.clip((np.tanh(w) + 1.0) / 2.0 * span + lo)
+
+
+def _cw_single(
+    classifier,
+    x,
+    label,
+    rng,
+    confidence=0.0,
+    learning_rate=0.05,
+    max_iterations=100,
+    initial_const=0.5,
+    const_factor=5.0,
+    num_const_steps=3,
+):
+    x = x[np.newaxis].astype(np.float32)
+    y = np.array([label], dtype=np.int64)
+    best = x.copy()
+    best_l2 = np.full(len(x), np.inf)
+
+    const = initial_const
+    for _ in range(num_const_steps):
+        candidates = _cw_optimise(
+            classifier, x, y, const, confidence, learning_rate, max_iterations
+        )
+        preds = classifier.predict(candidates)
+        for i in range(len(x)):
+            if preds[i] != y[i]:
+                l2 = float(np.linalg.norm((candidates[i] - x[i]).ravel()))
+                if l2 < best_l2[i]:
+                    best_l2[i] = l2
+                    best[i] = candidates[i]
+        if np.all(np.isfinite(best_l2)):
+            break
+        const *= const_factor
+    return best[0]
+
+
+# -------------------------------------------------------------------- jsma
+def _jsma_single(classifier, x, label, rng, theta=0.6, gamma=0.12):
+    x_adv = x[np.newaxis].astype(np.float32).copy()
+    n_features = x_adv.size
+    max_modified = max(2, int(gamma * n_features))
+    modified = set()
+
+    logits = classifier.predict_logits(x_adv)[0]
+    target = int(np.argsort(logits)[::-1][1])
+
+    while len(modified) < max_modified:
+        logits = classifier.predict_logits(x_adv)[0]
+        if logits.argmax() != label:
+            break
+        jac = classifier.jacobian(x_adv)[0].reshape(classifier.num_classes, -1)
+        grad_target = jac[target]
+        grad_others = jac.sum(axis=0) - grad_target
+
+        flat = x_adv.reshape(-1)
+        saliency = np.where(
+            (grad_target > 0) & (grad_others < 0), grad_target * np.abs(grad_others), 0.0
+        )
+        saliency[flat >= classifier.clip_max] = 0.0
+        for idx in modified:
+            saliency[idx] = 0.0
+        if saliency.max() <= 0:
+            fallback = grad_target.copy()
+            fallback[flat >= classifier.clip_max] = -np.inf
+            for idx in modified:
+                fallback[idx] = -np.inf
+            if not np.isfinite(fallback.max()):
+                break
+            pixel = int(fallback.argmax())
+        else:
+            pixel = int(saliency.argmax())
+        flat[pixel] = min(classifier.clip_max, flat[pixel] + theta)
+        modified.add(pixel)
+    return x_adv[0]
+
+
+# --------------------------------------------------------------------- lsa
+def _lsa_single(
+    classifier,
+    x,
+    label,
+    rng,
+    perturbation=0.5,
+    candidates_per_round=32,
+    pixels_per_round=4,
+    max_rounds=15,
+):
+    x_adv = x.astype(np.float32).copy()
+    n_features = x_adv.size
+    for _ in range(max_rounds):
+        if classifier.predict(x_adv[np.newaxis])[0] != label:
+            break
+        candidates = rng.choice(
+            n_features, size=min(candidates_per_round, n_features), replace=False
+        )
+        probes = np.repeat(x_adv[np.newaxis], 2 * len(candidates), axis=0)
+        flat = probes.reshape(2 * len(candidates), -1)
+        for j, pixel in enumerate(candidates):
+            flat[2 * j, pixel] = np.clip(
+                flat[2 * j, pixel] + perturbation, classifier.clip_min, classifier.clip_max
+            )
+            flat[2 * j + 1, pixel] = np.clip(
+                flat[2 * j + 1, pixel] - perturbation,
+                classifier.clip_min,
+                classifier.clip_max,
+            )
+        scores = classifier.predict_proba(probes)[:, label]
+        order = np.argsort(scores)
+        flat_adv = x_adv.reshape(-1)
+        for probe_idx in order[:pixels_per_round]:
+            pixel = candidates[probe_idx // 2]
+            flat_adv[pixel] = flat[probe_idx, pixel]
+    return x_adv
+
+
+# ---------------------------------------------------------------- boundary
+def _find_start_single(classifier, x, label, rng, init_trials):
+    for _ in range(init_trials):
+        candidate = rng.uniform(classifier.clip_min, classifier.clip_max, size=x.shape).astype(
+            np.float32
+        )
+        if classifier.predict(candidate[np.newaxis])[0] != label:
+            return candidate
+    return None
+
+
+def _boundary_single(
+    classifier,
+    x,
+    label,
+    rng,
+    max_iterations=150,
+    orthogonal_step=0.1,
+    source_step=0.1,
+    init_trials=50,
+):
+    x = x.astype(np.float32)
+    current = _find_start_single(classifier, x, label, rng, init_trials)
+    if current is None:
+        return x.copy()
+
+    ortho_step = orthogonal_step
+    for _ in range(max_iterations):
+        diff = x - current
+        dist = np.linalg.norm(diff.ravel())
+        if dist < 1e-6:
+            break
+        noise = rng.normal(size=x.shape).astype(np.float32)
+        noise *= ortho_step * dist / (np.linalg.norm(noise.ravel()) + 1e-12)
+        candidate = current + noise
+        cand_diff = x - candidate
+        cand_dist = np.linalg.norm(cand_diff.ravel()) + 1e-12
+        candidate = x - cand_diff * (dist / cand_dist)
+        candidate = candidate + source_step * (x - candidate)
+        candidate = classifier.clip(candidate)
+
+        if classifier.predict(candidate[np.newaxis])[0] != label:
+            current = candidate
+            ortho_step = min(ortho_step * 1.05, 0.5)
+            source_step = min(source_step * 1.05, 0.5)
+        else:
+            ortho_step *= 0.9
+            source_step *= 0.9
+    return current
+
+
+# ------------------------------------------------------------- hopskipjump
+def _hsj_binary_search(classifier, x, adversarial, label, binary_search_steps):
+    low, high = 0.0, 1.0
+    for _ in range(binary_search_steps):
+        mid = (low + high) / 2.0
+        blended = (1 - mid) * x + mid * adversarial
+        if classifier.predict(blended[np.newaxis])[0] != label:
+            high = mid
+        else:
+            low = mid
+    return ((1 - high) * x + high * adversarial).astype(np.float32)
+
+
+def _hsj_estimate_direction(classifier, boundary_point, label, iteration, rng, num_eval_samples):
+    n_samples = int(num_eval_samples * np.sqrt(iteration + 1))
+    delta = 0.1 / np.sqrt(np.prod(boundary_point.shape))
+    noise = rng.normal(size=(n_samples,) + boundary_point.shape).astype(np.float32)
+    norms = np.linalg.norm(noise.reshape(n_samples, -1), axis=1).reshape(
+        (-1,) + (1,) * boundary_point.ndim
+    )
+    noise /= norms + 1e-12
+    probes = np.clip(
+        boundary_point[np.newaxis] + delta * noise, classifier.clip_min, classifier.clip_max
+    )
+    is_adv = (classifier.predict(probes) != label).astype(np.float32) * 2.0 - 1.0
+    is_adv -= is_adv.mean()
+    direction = (is_adv.reshape((-1,) + (1,) * boundary_point.ndim) * noise).mean(axis=0)
+    norm = np.linalg.norm(direction.ravel())
+    if norm < 1e-12:
+        return noise[0]
+    return direction / norm
+
+
+def _hsj_single(
+    classifier,
+    x,
+    label,
+    rng,
+    max_iterations=10,
+    init_trials=50,
+    num_eval_samples=24,
+    binary_search_steps=8,
+):
+    x = x.astype(np.float32)
+    current = _find_start_single(classifier, x, label, rng, init_trials)
+    if current is None:
+        return x.copy()
+    current = _hsj_binary_search(classifier, x, current, label, binary_search_steps)
+
+    for iteration in range(max_iterations):
+        direction = _hsj_estimate_direction(
+            classifier, current, label, iteration, rng, num_eval_samples
+        )
+        dist = np.linalg.norm((current - x).ravel())
+        step = dist / np.sqrt(iteration + 1)
+        success = False
+        for _ in range(10):
+            candidate = classifier.clip(current + step * direction)
+            if classifier.predict(candidate[np.newaxis])[0] != label:
+                success = True
+                break
+            step /= 2.0
+        if success:
+            current = _hsj_binary_search(classifier, x, candidate, label, binary_search_steps)
+    return current

@@ -63,6 +63,28 @@ def test_pgd_validates_arguments():
         PGD(steps=0)
 
 
+@pytest.mark.parametrize(
+    "attack",
+    [
+        FGSM(epsilon=0.1),
+        PGD(epsilon=0.1, steps=2, random_start=True),
+        JSMA(theta=0.8, gamma=0.1),
+        DeepFool(max_iterations=3),
+        CarliniWagnerL2(max_iterations=3, num_const_steps=2),
+        LocalSearchAttack(max_rounds=3, seed=0),
+        BoundaryAttack(max_iterations=3, seed=0),
+        HopSkipJump(max_iterations=2, seed=0),
+    ],
+    ids=lambda a: a.name,
+)
+def test_attacks_handle_empty_batch(tiny_classifier, attack_samples, attack):
+    # the per-example loops no-op'd on an empty victim slice; the batched
+    # rollouts (and PGD's np.stack of per-example noise draws) must too
+    x, y = attack_samples
+    empty = attack.perturb(tiny_classifier, x[:0], y[:0])
+    assert empty.shape == x[:0].shape
+
+
 def test_jsma_modifies_few_pixels(tiny_classifier, attack_samples):
     x, y = attack_samples
     attack = JSMA(theta=0.8, gamma=0.1)

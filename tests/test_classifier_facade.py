@@ -114,3 +114,21 @@ def test_clip_respects_bounds():
     clf = make_classifier()
     x = np.array([-1.0, 0.5, 2.0], dtype=np.float32)
     np.testing.assert_array_equal(clf.clip(x), [0.0, 0.5, 1.0])
+
+
+def test_cached_logits_gradient_rejects_stale_activations():
+    clf = make_classifier(seed=14)
+    x = np.random.default_rng(15).uniform(0, 1, size=(3, 1, 3, 3)).astype(np.float32)
+    logits = clf.predict_logits(x)
+    serial = clf.forward_serial
+    # matching batch + serial: rides the cached forward, equals logits_gradient
+    cached = clf.cached_logits_gradient(np.ones_like(logits), forward_serial=serial)
+    np.testing.assert_array_equal(cached, clf.logits_gradient(x, np.ones_like(logits)))
+    # a same-sized forward in between invalidates the serial stamp
+    clf.predict_logits(x)
+    with pytest.raises(RuntimeError, match="stale"):
+        clf.cached_logits_gradient(np.ones_like(logits), forward_serial=serial)
+    # without a serial, a differently-sized forward still fails on batch size
+    clf.predict_logits(x[:1])
+    with pytest.raises(RuntimeError, match="does not match the last forward"):
+        clf.cached_logits_gradient(np.ones_like(logits))

@@ -9,11 +9,12 @@ import pytest
 from repro.experiments.zoo import ZOO
 from repro.parallel.locks import FileLock, LockUnavailable, atomic_write_json, atomic_write_text
 from repro.parallel.sharding import (
+    attack_shard_size,
+    cell_seed,
+    cell_seed_sequence,
     n_shards,
     resolve_jobs,
     shard_bounds,
-    shard_seed,
-    shard_seed_sequence,
 )
 from repro.pipeline import (
     NONDETERMINISTIC_RESULT_FIELDS,
@@ -54,20 +55,31 @@ def test_shard_math():
     assert covered == [(0, 3), (3, 6), (6, 9), (9, 10)]
 
 
-def test_shard_seeds_are_content_derived_and_spawn_compatible():
-    payload = {"attack": "pgd", "n_samples": 8, "shard_size": 4}
-    assert shard_seed(payload, 0) == shard_seed(dict(payload), 0)  # pure function
-    assert shard_seed(payload, 0) != shard_seed(payload, 1)  # distinct per shard
-    assert shard_seed(payload, 0) != shard_seed({**payload, "n_samples": 12}, 0)
-    # spawn_key construction matches SeedSequence.spawn children
-    root = shard_seed_sequence(payload, 0)
-    spawned = np.random.SeedSequence(
-        entropy=root.entropy
-    ).spawn(3)
+def test_shard_size_policy_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ATTACK_SHARD_SIZE", raising=False)
+    default = attack_shard_size()
+    assert default >= 1
+    monkeypatch.setenv("REPRO_ATTACK_SHARD_SIZE", "16")
+    assert attack_shard_size() == 16
+    assert Runner(fast=True).shard_size == 16
+    monkeypatch.setenv("REPRO_ATTACK_SHARD_SIZE", "bogus")
+    assert attack_shard_size() == default
+    # an explicit Runner argument beats the policy
+    assert Runner(fast=True, shard_size=3).shard_size == 3
+
+
+def test_cell_seeds_are_content_derived_and_spawn_compatible():
+    payload = {"attack": "pgd", "n_samples": 8}
+    # the cell-level seed is shard-free: one entropy per cell, from which
+    # attacks spawn per-example streams keyed by global victim index
+    assert cell_seed(payload) == cell_seed(dict(payload))  # pure function
+    assert cell_seed(payload) != cell_seed({**payload, "n_samples": 12})
+    # per-example spawn_key construction matches SeedSequence.spawn children
+    root = cell_seed_sequence(payload)
+    spawned = np.random.SeedSequence(entropy=root.entropy).spawn(3)
     for i in range(3):
-        assert spawned[i].generate_state(4).tolist() == shard_seed_sequence(
-            payload, i
-        ).generate_state(4).tolist()
+        child = np.random.SeedSequence(entropy=root.entropy, spawn_key=(i,))
+        assert spawned[i].generate_state(4).tolist() == child.generate_state(4).tolist()
 
 
 def test_resolve_jobs():
@@ -150,19 +162,47 @@ def test_sharded_cell_merge_is_order_independent(tmp_path, tiny_zoo_entry):
         "attack": "pgd",
         "params": {"epsilon": 0.1, "steps": 5},
         "n_samples": 6,
-        "shard_size": 2,
         "victim": "exact",
     }
     kind = get_cell_kind("whitebox")
-    assert kind.n_shards(payload) == 3
+    assert kind.n_shards(runner, payload) == 3
     forward = [kind.compute_shard(runner, payload, i) for i in range(3)]
     backward = [kind.compute_shard(runner, payload, i) for i in (2, 1, 0)][::-1]
     assert forward == backward  # shard results don't depend on execution order
     merged = kind.merge(payload, forward)
     assert merged["n_samples"] == 6
-    # a stochastic attack really is re-seeded per shard: shards see different
-    # victims AND different noise, so their traces differ
+    # per-example RNG streams: shards see different victims AND different
+    # noise, so their traces differ
     assert forward[0] != forward[1]
+
+
+def test_cell_values_invariant_to_shard_size(tmp_path, tiny_zoo_entry):
+    """The shard size is execution tuning: every layout merges identically."""
+    payload = {
+        "model": tiny_zoo_entry,
+        "attack": "pgd",
+        "params": {"epsilon": 0.1, "steps": 5},
+        "n_samples": 6,
+        "victim": "exact",
+    }
+    kind = get_cell_kind("whitebox")
+    values = []
+    for shard_size in (1, 2, 3, 6):
+        runner = make_runner(tmp_path, f"shards{shard_size}", jobs=1, shard_size=shard_size)
+        assert kind.n_shards(runner, payload) == -(-6 // shard_size)
+        shards = [
+            kind.compute_shard(runner, payload, i)
+            for i in range(kind.n_shards(runner, payload))
+        ]
+        values.append(json.dumps(kind.merge(payload, shards), sort_keys=True))
+    assert len(set(values)) == 1
+
+
+def test_whole_experiment_invariant_to_shard_size(tmp_path, tiny_zoo_entry):
+    spec = tiny_whitebox_spec(tiny_zoo_entry)
+    small = make_runner(tmp_path, "small", jobs=1, shard_size=2).run(spec)
+    large = make_runner(tmp_path, "large", jobs=1, shard_size=6).run(spec)
+    assert deterministic_json(small) == deterministic_json(large)
 
 
 @pytest.mark.skipif(not HAS_FORK, reason="pool test needs fork to inherit the test zoo entry")
