@@ -19,6 +19,7 @@ independent of the worker count.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -50,3 +51,56 @@ def report_result(result: ExperimentResult) -> str:
     banner = report(result.name, result.table)
     result.write(RESULTS_DIR)  # overwrites the .txt with identical content + adds .json
     return banner
+
+
+# ------------------------------------------------------- regression checking
+def load_baseline(path) -> dict:
+    """The previously recorded ``BENCH_*.json``, or ``{}`` if absent/corrupt.
+
+    Call this *before* the harness overwrites its output file.
+    """
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+def check_regression(baseline: dict, current: dict, metrics) -> int:
+    """Compare higher-is-better metrics against a recorded baseline.
+
+    ``metrics`` is a list of ``(name, getter, min_ratio)``: the check fails
+    when ``getter(current) < getter(baseline) * min_ratio``.  Only
+    dimensionless ratios (speedups) are ever compared -- absolute wall-clock
+    numbers are machine-dependent and meaningless across CI runners, which is
+    also why ``min_ratio`` is generous rather than tight.
+
+    A missing baseline (first run on a branch) or a metric absent from it
+    (schema drift) is a pass with a note, never a failure: the gate catches
+    regressions, it does not block schema evolution.  Returns the number of
+    regressions (the harness exit code).
+    """
+    if not baseline:
+        print("# perf check: no baseline recorded yet -- nothing to compare against")
+        return 0
+    failures = 0
+    for name, getter, min_ratio in metrics:
+        try:
+            base = float(getter(baseline))
+        except (KeyError, IndexError, TypeError, ValueError):
+            print(f"# perf check: {name}: not in baseline (schema drift?) -- skipped")
+            continue
+        try:
+            cur = float(getter(current))
+        except (KeyError, IndexError, TypeError, ValueError):
+            print(f"# perf check: {name}: MISSING from current record")
+            failures += 1
+            continue
+        floor = base * min_ratio
+        ok = cur >= floor
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"# perf check: {name}: {cur:.3f} vs baseline {base:.3f} "
+            f"(floor {floor:.3f} = {min_ratio:g}x) -- {verdict}"
+        )
+        failures += 0 if ok else 1
+    return failures

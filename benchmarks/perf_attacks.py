@@ -47,6 +47,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "tests"))
 
 from attack_reference import reference_perturb  # noqa: E402
+from common import check_regression, load_baseline  # noqa: E402
 from repro.attacks.base import Classifier  # noqa: E402
 from repro.attacks.registry import create_attack  # noqa: E402
 from repro.core.evaluation import select_correctly_classified  # noqa: E402
@@ -76,6 +77,17 @@ SMOKE_PARAMS = {
     "hsj": dict(max_iterations=1, init_trials=8, num_eval_samples=6, binary_search_steps=3),
 }
 SEEDED = {"lsa", "boundary", "hsj"}
+
+#: ``--check`` gates the batched-vs-loop speedup geomeans.  The floors are
+#: deliberately loose (0.3x): CI runs ``--smoke``, whose tiny budgets shift
+#: the per-attack mix relative to a full-profile baseline record, and the
+#: gate only needs to catch the engine degenerating to per-example rollouts
+#: (geomeans collapsing to ~1x), not a few percent of timing noise.
+CHECK_METRICS = [
+    ("geomean_speedup", lambda r: r["geomean_speedup"], 0.3),
+    ("exact_geomean_speedup", lambda r: r["victims"]["exact"]["geomean_speedup"], 0.3),
+    ("da_geomean_speedup", lambda r: r["victims"]["da"]["geomean_speedup"], 0.3),
+]
 
 
 class PrePRClassifier(Classifier):
@@ -224,9 +236,16 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_attacks.json"),
         help="where to write the benchmark record",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedup geomeans against the recorded baseline and exit "
+        "non-zero on regression",
+    )
     args = parser.parse_args(argv)
     params_by_attack = SMOKE_PARAMS if args.smoke else ATTACK_PARAMS
     repeats = 1 if args.smoke else max(1, args.repeats)
+    baseline_record = load_baseline(args.out) if args.check else {}
 
     model, split = lenet_digits(fast=True)
     probe = Classifier(model)
@@ -291,6 +310,16 @@ def main(argv=None) -> int:
     if record["parity_failures"]:
         print(f"ERROR: parity failures: {record['parity_failures']}", file=sys.stderr)
         return 1
+    if args.check:
+        if baseline_record and baseline_record.get("smoke") != record["smoke"]:
+            print(
+                "# perf check: baseline profile differs (smoke="
+                f"{baseline_record.get('smoke')} vs {record['smoke']}); floors "
+                "are loose enough to compare across profiles"
+            )
+        if check_regression(baseline_record, record, CHECK_METRICS):
+            print("ERROR: attack-engine performance regressed", file=sys.stderr)
+            return 1
     return 0
 
 

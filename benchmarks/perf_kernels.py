@@ -33,8 +33,22 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from common import check_regression, load_baseline  # noqa: E402
 from repro.arith.fpm import AxFPM, HEAPMultiplier  # noqa: E402
 from repro.arith.kernels import KERNEL_STATS  # noqa: E402
+
+#: ``--check`` gates the per-multiplier fused-vs-old speedup geomeans.  0.5x
+#: tolerates runner noise and BLAS/hardware variation; an accidental fallback
+#: to the un-fused path (the ~6-7x ratios collapsing to ~1x) still fails.
+CHECK_METRICS = [
+    (
+        f"{name}_{kind}_speedup_geomean",
+        (lambda n, k: lambda r: r["multipliers"][n][f"{k}_speedup_geomean"])(name, kind),
+        0.5,
+    )
+    for name in ("axfpm", "heap")
+    for kind in ("conv", "dense")
+]
 
 #: (label, kind, N, F, K, L) -- conv shapes are the im2col geometries of the
 #: repo's LeNet-5 (16x16 digits) and compact AlexNet (32x32 objects) layers at
@@ -125,7 +139,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_kernels.json"), help="output JSON path"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedup geomeans against the recorded baseline and exit "
+        "non-zero on regression",
+    )
     args = parser.parse_args(argv)
+    baseline = load_baseline(args.out) if args.check else {}
 
     rng = np.random.default_rng(0)
     record = {
@@ -167,6 +188,9 @@ def main(argv=None) -> int:
     print(f"\n# wrote {out_path}")
     if failed:
         print("ERROR: fused kernel diverged from the reference path", file=sys.stderr)
+        return 1
+    if args.check and check_regression(baseline, record, CHECK_METRICS):
+        print("ERROR: kernel performance regressed against the baseline", file=sys.stderr)
         return 1
     return 0
 

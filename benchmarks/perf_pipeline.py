@@ -35,9 +35,23 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from common import check_regression, load_baseline  # noqa: E402
 from repro.parallel.sharding import resolve_jobs  # noqa: E402
 from repro.pipeline import NONDETERMINISTIC_RESULT_FIELDS, Runner  # noqa: E402
 from repro.pipeline.catalog import FAST_PERF_SUBSET  # noqa: E402
+
+#: higher-is-better ratios compared by ``--check``; wall-clock absolutes are
+#: machine-dependent and never gated.  The warm-cache ratio (cold serial wall
+#: over warm rerun wall) is the one guarding the artifact store's read path:
+#: a lock added to the hot path would collapse it immediately.
+CHECK_METRICS = [
+    ("parallel_speedup", lambda r: r["speedup"], 0.5),
+    (
+        "warm_cache_speedup",
+        lambda r: r["runs"][0]["wall_seconds"] / max(r["runs"][2]["wall_seconds"], 1e-9),
+        0.05,
+    ),
+]
 
 
 def _timed_run(jobs: int, cache_dir: Path, label: str, trials: int = 1) -> dict:
@@ -102,8 +116,15 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_pipeline.json"),
         help="where to write the benchmark record",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedup ratios against the previously recorded baseline "
+        "and exit non-zero on regression",
+    )
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
+    baseline = load_baseline(args.out) if args.check else {}
 
     # resolve (train or load) the zoo models and build the hardware variants /
     # multiplier LUTs outside the timed region, so every timed run -- serial
@@ -149,6 +170,9 @@ def main(argv=None) -> int:
     print(f"\n# wrote {out_path}")
     if not identical:
         print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    if args.check and check_regression(baseline, record, CHECK_METRICS):
+        print("ERROR: performance regressed against the recorded baseline", file=sys.stderr)
         return 1
     return 0
 

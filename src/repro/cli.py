@@ -3,10 +3,11 @@
 Commands
 --------
 
-``list``
+``list [--json]``
     Enumerate the experiment catalog (every paper table / figure).
-``info <experiment>``
-    Show one experiment's resolved declarative spec as JSON.
+``info <experiment> [--json]``
+    Show one experiment's resolved declarative spec.  ``--json`` emits the
+    exact machine-readable form the service's ``POST /jobs`` accepts inline.
 ``run <experiment> [...] [--fast] [--jobs N]``
     Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
     printing the paper-style table and writing ``results/<name>.txt`` and
@@ -18,6 +19,12 @@ Commands
     core, and any value is bit-for-bit identical to ``--jobs 1``.  All
     requested experiments are planned as one deduplicated cell graph, so
     ``run all`` computes each shared cell once.
+``serve [--host H] [--port P] [--workers N] [--jobs N]``
+    Start the long-lived robustness-evaluation service: an HTTP API with a
+    job queue in front of the same runner (see :mod:`repro.service`).
+``cache stats [--json]`` / ``cache gc [--budget SIZE]``
+    Inspect and garbage-collect the content-addressed artifact store behind
+    the cell cache (see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -51,10 +58,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="enumerate the experiment catalog")
+    list_cmd = sub.add_parser("list", help="enumerate the experiment catalog")
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the catalog as a JSON array of {name, kind, title}",
+    )
 
     info = sub.add_parser("info", help="show one experiment's declarative spec")
     info.add_argument("experiment", help="catalog name (see `list`)")
+    info.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the round-trippable machine spec (what the service's "
+        "POST /jobs accepts as an inline experiment)",
+    )
 
     run = sub.add_parser("run", help="execute experiments and write results/")
     run.add_argument(
@@ -89,11 +107,74 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress progress lines (tables still print)"
     )
+
+    serve = sub.add_parser(
+        "serve", help="start the long-lived robustness-evaluation HTTP service"
+    )
+    serve.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (default: 8642; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent jobs executing at once (default: 2)",
+    )
+    serve.add_argument(
+        "--jobs",
+        default=1,
+        type=_jobs_value,
+        metavar="N",
+        help="worker processes per job's cell execution (default: 1; "
+        "'auto' for the CPU count)",
+    )
+    serve.add_argument(
+        "--results-dir",
+        default="results",
+        help="where job results are persisted and GET /results serves from",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, help="artifact-store location (default: zoo cache)"
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect the cell artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="artifact counts, bytes, active leases")
+    stats.add_argument("--json", action="store_true", help="emit raw JSON")
+    stats.add_argument(
+        "--cache-dir", default=None, help="store location (default: zoo cache)"
+    )
+    gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-read artifacts down to a byte budget"
+    )
+    gc.add_argument(
+        "--budget",
+        default=None,
+        metavar="SIZE",
+        help="byte budget like 512M or 2G (default: REPRO_STORE_BUDGET)",
+    )
+    gc.add_argument(
+        "--cache-dir", default=None, help="store location (default: zoo cache)"
+    )
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(as_json: bool) -> int:
     names = list_experiments()
+    if as_json:
+        catalog = [
+            {"name": name, **{k: EXPERIMENTS.metadata(name)[k] for k in ("kind", "title")}}
+            for name in names
+        ]
+        print(json.dumps(catalog, indent=2))
+        return 0
     width = max(len(name) for name in names)
     for name in names:
         meta = EXPERIMENTS.metadata(name)
@@ -101,8 +182,13 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_info(name: str) -> int:
+def _cmd_info(name: str, as_json: bool) -> int:
     spec = get_experiment(name)
+    if as_json:
+        # the wire format: ExperimentSpec.from_dict round-trips this exactly,
+        # so it can be edited and submitted to the service's POST /jobs
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=False))
+        return 0
     print(json.dumps(spec.to_dict(), indent=2, default=str))
     return 0
 
@@ -158,15 +244,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    return serve(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        workers=args.workers,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.zoo import CACHE_DIR
+    from repro.store import ArtifactStore, parse_size
+
+    root = args.cache_dir if args.cache_dir is not None else CACHE_DIR / "pipeline"
+    store = ArtifactStore(root)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        budget = stats["budget_bytes"]
+        print(f"store:    {stats['root']}")
+        print(
+            f"artifacts: {stats['artifacts']} "
+            f"({stats['bytes'] / 1e6:.2f} MB"
+            + (f" of {budget / 1e6:.2f} MB budget" if budget else ", no budget")
+            + ")"
+        )
+        print(f"leases:   {stats['active_leases']} active (TTL {stats['lease_ttl_seconds']:.0f}s)")
+        for namespace, info in sorted(stats["namespaces"].items()):
+            print(
+                f"  {namespace.ljust(24)} {str(info['artifacts']).rjust(5)} artifacts  "
+                f"{info['bytes'] / 1e6:8.2f} MB"
+            )
+        return 0
+    if args.cache_command == "gc":
+        budget = parse_size(args.budget) if args.budget is not None else None
+        report = store.gc(budget=budget)
+        print(json.dumps(report, indent=2))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args.json)
         if args.command == "info":
-            return _cmd_info(args.experiment)
+            return _cmd_info(args.experiment, args.json)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except RegistryError as exc:
         # unknown experiment/component: a clean one-line error, not a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)

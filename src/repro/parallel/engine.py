@@ -9,10 +9,13 @@ per-shard RNG seeding are pure functions of cell content
 values as the serial path.
 
 Coordination with *other* processes -- pool workers of a second CLI
-invocation sharing the cache directory -- uses the advisory locks of
-:mod:`repro.parallel.locks`: each cell is computed under its digest lock, so
-a cell being computed elsewhere is *deferred* here and collected from the
-cache once the foreign process releases it, instead of being recomputed.
+invocation or service job sharing the cache directory -- uses the writer
+leases of :mod:`repro.store`: each cell is computed under its digest lease
+(refreshed as shards complete, so long cells never look abandoned), and a
+cell being computed elsewhere is *deferred* here and collected from the
+cache once the foreign writer publishes it, instead of being recomputed.  A
+foreign writer that crashes mid-cell loses its lease and the cell is
+computed here -- a wedged cache cannot outlive its writer.
 
 Worker processes are started with an initialiser that imports the pipeline
 registries and builds a per-process serial :class:`Runner`; zoo models and
@@ -35,9 +38,9 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.parallel.locks import FileLock, LockUnavailable
 from repro.parallel.plan import CellOutcome, CellTask
 from repro.pipeline.cells import get_cell_kind
+from repro.store import Lease
 
 #: called with (task, outcome) as each cell completes
 OnCell = Callable[[CellTask, CellOutcome], None]
@@ -94,41 +97,39 @@ class ParallelEngine:
         if not pending:
             return outcomes
 
-        # claim each missing cell's digest lock; cells already being computed
+        # claim each missing cell's writer lease; cells already being computed
         # by another process are deferred and harvested from its artifact
         owned: List[CellTask] = []
         deferred: List[CellTask] = []
-        locks: Dict[str, FileLock] = {}
+        leases: Dict[str, Lease] = {}
         for task in pending:
             if not self.runner.use_cache:
                 owned.append(task)
                 continue
-            lock = FileLock(self.runner.cell_lock_path(task.digest))
-            try:
-                lock.acquire(blocking=False)
-            except LockUnavailable:
+            lease = self.runner.store.try_lease(task.kind, task.digest)
+            if lease is None:
                 deferred.append(task)
                 continue
             value = self.runner.read_cell(task.kind, task.payload, task.digest)
             if value is not None:  # published while we were acquiring
-                lock.release()
+                lease.release()
                 finish(task, CellOutcome(value, "hit", 0.0, task.n_shards))
             else:
-                locks[task.digest] = lock
+                leases[task.digest] = lease
                 owned.append(task)
         try:
             if owned:
-                self._compute_owned(owned, locks, finish)
+                self._compute_owned(owned, leases, finish)
         finally:
-            for lock in locks.values():
-                lock.release()
+            for lease in leases.values():
+                lease.release()
         for task in deferred:
             finish(task, self._collect_foreign(task))
         return outcomes
 
     # ------------------------------------------------------------ internals
     def _compute_owned(
-        self, tasks: List[CellTask], locks: Dict[str, FileLock], finish: OnCell
+        self, tasks: List[CellTask], leases: Dict[str, Lease], finish: OnCell
     ) -> None:
         runner = self.runner
         for task in tasks:  # resolve shared models once, before the fork
@@ -172,13 +173,20 @@ class ParallelEngine:
                             task.kind, task.payload, shard_values.pop(digest)
                         )
                         runner.write_cell(task.kind, digest, merged)
-                        lock = locks.pop(digest, None)
-                        if lock is not None:
-                            lock.release()
+                        lease = leases.pop(digest, None)
+                        if lease is not None:
+                            lease.release()
                         finish(
                             by_digest[digest],
                             CellOutcome(merged, "computed", shard_seconds[digest], task.n_shards),
                         )
+                    else:
+                        # a long multi-shard cell keeps proving its writer is
+                        # alive, so the lease TTL bounds shard time, not cell
+                        # time, before a waiter may take over
+                        lease = leases.get(digest)
+                        if lease is not None:
+                            lease.refresh()
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
@@ -188,12 +196,15 @@ class ParallelEngine:
     def _collect_foreign(self, task: CellTask) -> CellOutcome:
         """Wait out another process computing ``task``, then read its artifact.
 
-        Blocks on the cell's digest lock (we hold no other locks by now, so
-        this cannot deadlock).  If the foreign process died without
-        publishing, fall back to computing the cell serially ourselves.
+        Polls the artifact optimistically (we hold no leases by now, so this
+        cannot deadlock).  If the foreign writer died without publishing, its
+        lease falls to us and the cell is computed serially here.
         """
         start = perf_counter()
-        with FileLock(self.runner.cell_lock_path(task.digest)):
+        value, lease = self.runner.store.wait_for(task.kind, task.digest)
+        if value is not None:
+            return CellOutcome(value, "hit", 0.0, task.n_shards)
+        with lease:
             value = self.runner.read_cell(task.kind, task.payload, task.digest)
             if value is not None:
                 return CellOutcome(value, "hit", 0.0, task.n_shards)

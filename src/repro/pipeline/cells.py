@@ -220,6 +220,16 @@ def _mean(values: List[float]) -> float:
     return float(np.mean(np.asarray(values, dtype=np.float64))) if values else float("nan")
 
 
+#: process-level memo of completed warm-ups.  A run's cell graph references
+#: the same few models from many cells (and sibling experiments share whole
+#: grids), so without the memo every planned cell re-primed the same variant
+#: models and GEMM kernels; with it, one warm-up per distinct
+#: (model, variants) signature covers every experiment of every run.
+#: Cleared by :func:`repro.pipeline.runner.clear_model_caches` alongside the
+#: model memos the signatures refer to.
+_WARMED: set = set()
+
+
 def _warm_model(runner, payload: Dict[str, Any], variants: List[str]) -> None:
     """Resolve (train or load) the zoo models a cell depends on.
 
@@ -227,8 +237,17 @@ def _warm_model(runner, payload: Dict[str, Any], variants: List[str]) -> None:
     warm-up runs in the parent before the worker pool forks, so the variant
     models, the mantissa LUTs *and* the kernels' precomposed signed-product
     tables are all inherited copy-on-write instead of being rebuilt once per
-    worker.
+    worker.  Memoised per (model, variants, fast) signature -- experiments
+    that share cells share one warm-up instead of re-priming per cell.
     """
+    key = (
+        payload.get("model"),
+        bool(runner.fast),
+        tuple(sorted(variants)),
+        payload.get("dq_zoo"),
+    )
+    if key in _WARMED:
+        return
     if payload.get("model"):
         runner.zoo(payload["model"])
         spec = _payload_spec(payload)
@@ -238,6 +257,7 @@ def _warm_model(runner, payload: Dict[str, Any], variants: List[str]) -> None:
             prime_gemm_kernels(runner.resolve_variant(spec, variant))
     if "dq_zoo" in payload and any(v.startswith("dq_") for v in variants):
         runner.zoo(payload["dq_zoo"])
+    _WARMED.add(key)
 
 
 # ------------------------------------------------------------- transferability

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,12 +42,13 @@ from repro.attacks.registry import ATTACKS
 from repro.core.results import format_table
 from repro.experiments.zoo import CACHE_DIR, ZOO
 from repro.nn.models import VARIANTS
-from repro.parallel.locks import FileLock, atomic_write_json, atomic_write_text
+from repro.parallel.locks import atomic_write_text
 from repro.parallel.sharding import attack_shard_size, resolve_jobs
 from repro.parallel.telemetry import CellEvent, RunTelemetry
 from repro.pipeline.cells import get_cell_kind
 from repro.pipeline.spec import AttackGridEntry, ExperimentSpec, canonical_digest
 from repro.registry import registry
+from repro.store import ArtifactStore
 
 #: named experiment specs -- the catalog (namespace ``"experiment"``)
 EXPERIMENTS = registry("experiment")
@@ -168,18 +170,23 @@ def _jsonable(value: Any) -> Any:
 
 # in-process memoisation shared by all Runner instances: trained models are
 # immutable-by-convention here (their parameters are only read), and the zoo's
-# disk cache already guarantees cross-process reuse.
+# disk cache already guarantees cross-process reuse.  The lock serialises
+# resolution across threads (the service tier runs concurrent jobs on a
+# thread pool; without it two jobs could train the same model twice).  It is
+# reentrant because resolve_variant resolves its base model through zoo().
 _ZOO_CACHE: Dict[Any, Any] = {}
 _VARIANT_CACHE: Dict[Any, Any] = {}
+_MODEL_CACHE_LOCK = threading.RLock()
 
 
 def clear_model_caches() -> None:
     """Drop the in-process model memos (tests / memory pressure)."""
-    from repro.pipeline.cells import _SELECTION_CACHE
+    from repro.pipeline.cells import _SELECTION_CACHE, _WARMED
 
     _ZOO_CACHE.clear()
     _VARIANT_CACHE.clear()
     _SELECTION_CACHE.clear()  # victim selections are tied to the memoised models
+    _WARMED.clear()  # warm-up signatures reference the memoised models too
 
 
 class Runner:
@@ -228,6 +235,12 @@ class Runner:
         self.progress = progress
         self.jobs = resolve_jobs(jobs)
         self.shard_size = attack_shard_size() if shard_size is None else max(1, int(shard_size))
+        #: the multi-tenant artifact store backing the cell cache (namespace =
+        #: cell kind); budget / lease TTL come from ``REPRO_STORE_*`` env vars
+        self.store = ArtifactStore(self.cache_dir)
+        #: optional observer invoked with each :class:`CellEvent` as cells
+        #: complete -- the service tier streams these to HTTP clients
+        self.on_cell: Optional[Callable[[CellEvent], None]] = None
         # per-run counters; reset at the start of every run()/run_many()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -306,6 +319,8 @@ class Runner:
                 )
             )
             self._log(self.telemetry.progress_line(event))
+            if self.on_cell is not None:
+                self.on_cell(event)
 
         if not tasks:
             return outcomes
@@ -396,11 +411,13 @@ class Runner:
 
     # -------------------------------------------------------- model resolution
     def zoo(self, name: str, **kwargs) -> Any:
-        """Resolve a trained-model provider, memoised in-process."""
+        """Resolve a trained-model provider, memoised in-process (thread-safe)."""
         key = (name, self.fast, tuple(sorted(kwargs.items())))
         if key not in _ZOO_CACHE:
-            self._log(f"  zoo: resolving {name} {kwargs or ''}")
-            _ZOO_CACHE[key] = ZOO.create(name, fast=self.fast, **kwargs)
+            with _MODEL_CACHE_LOCK:
+                if key not in _ZOO_CACHE:
+                    self._log(f"  zoo: resolving {name} {kwargs or ''}")
+                    _ZOO_CACHE[key] = ZOO.create(name, fast=self.fast, **kwargs)
         return _ZOO_CACHE[key]
 
     def resolve_variant(self, spec: ExperimentSpec, variant: str):
@@ -417,8 +434,10 @@ class Runner:
             return models[variant[len("dq_") :]]
         key = (spec.model, self.fast, variant)
         if key not in _VARIANT_CACHE:
-            base, _split = self.zoo(spec.model)
-            _VARIANT_CACHE[key] = VARIANTS.create(variant, model=base)
+            with _MODEL_CACHE_LOCK:
+                if key not in _VARIANT_CACHE:
+                    base, _split = self.zoo(spec.model)
+                    _VARIANT_CACHE[key] = VARIANTS.create(variant, model=base)
         return _VARIANT_CACHE[key]
 
     def classifier(self, spec: ExperimentSpec, variant: str) -> Classifier:
@@ -472,32 +491,22 @@ class Runner:
 
     def cell_path(self, cell_kind: str, digest: str) -> Path:
         """Where the cell's JSON artifact lives."""
-        return self.cache_dir / cell_kind / f"{digest}.json"
-
-    def cell_lock_path(self, digest: str) -> Path:
-        """The advisory lock guarding the cell's computation."""
-        return self.cache_dir / "locks" / f"{digest}.lock"
+        return self.store.path(cell_kind, digest)
 
     def read_cell(self, cell_kind: str, payload: Dict[str, Any], digest: str) -> Optional[Any]:
-        """The cached cell value, or ``None`` (cache off / absent / corrupt)."""
+        """The cached cell value, or ``None`` (cache off / absent / corrupt).
+
+        A lock-free optimistic read: atomic publication makes torn artifacts
+        impossible, so the warm path costs one ``open`` and no coordination.
+        """
         if not self.use_cache:
             return None
-        path = self.cell_path(cell_kind, digest)
-        try:
-            return json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (ValueError, OSError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+        return self.store.get(cell_kind, digest)
 
     def write_cell(self, cell_kind: str, digest: str, value: Any) -> None:
         """Publish a computed cell value atomically (no-op with cache off)."""
         if self.use_cache:
-            atomic_write_json(self.cell_path(cell_kind, digest), value, sort_keys=True)
+            self.store.put(cell_kind, digest, value)
 
     def compute_cell(self, cell_kind: str, payload: Dict[str, Any]) -> Any:
         """Compute a cell in-process through its registered kind (no cache IO)."""
@@ -508,11 +517,12 @@ class Runner:
         return _jsonable(get_cell_kind(cell_kind).merge(payload, shards))
 
     def _execute_cell(self, cell_kind: str, payload: Dict[str, Any], digest: str, compute=None):
-        """Materialise one cell under its advisory lock (serial path).
+        """Materialise one cell under its writer lease (serial path).
 
-        The lock makes concurrent processes sharing the cache directory
-        cooperate: whoever takes the lock first computes, everyone else
-        blocks briefly and then reads the published artifact.
+        The store's lease protocol makes concurrent clients sharing the cache
+        directory cooperate: whoever claims the lease computes, everyone else
+        polls and reads the published artifact lock-free; a writer that dies
+        mid-computation is taken over instead of wedging the cell.
         """
         from repro.parallel.plan import CellOutcome
 
@@ -531,12 +541,20 @@ class Runner:
         start = time.perf_counter()
         if not self.use_cache:
             return CellOutcome(produce(), "computed", time.perf_counter() - start, shards)
-        with FileLock(self.cell_lock_path(digest)):
-            value = self.read_cell(cell_kind, payload, digest)
-            if value is not None:  # another process published while we waited
+        lease = self.store.try_lease(cell_kind, digest)
+        if lease is None:  # a foreign writer is computing this cell right now
+            value, lease = self.store.wait_for(cell_kind, digest)
+            if value is not None:
+                return CellOutcome(value, "hit", time.perf_counter() - start, shards)
+            # the writer vanished without publishing; we hold its lease now
+        try:
+            value = self.store.get(cell_kind, digest)
+            if value is not None:  # published between the read and the claim
                 return CellOutcome(value, "hit", time.perf_counter() - start, shards)
             value = produce()
             self.write_cell(cell_kind, digest, value)
+        finally:
+            lease.release()
         return CellOutcome(value, "computed", time.perf_counter() - start, shards)
 
     def cell(

@@ -30,9 +30,17 @@ class AttackGridEntry:
 
     @staticmethod
     def of(entry) -> "AttackGridEntry":
-        """Coerce ``(label, attack, params)`` tuples into entries."""
+        """Coerce ``(label, attack, params)`` tuples or JSON dicts into entries.
+
+        The dict form is what :meth:`ExperimentSpec.to_dict` emits and what
+        the HTTP API accepts for inline specs.
+        """
         if isinstance(entry, AttackGridEntry):
             return entry
+        if isinstance(entry, Mapping):
+            return AttackGridEntry(
+                entry["label"], entry["attack"], dict(entry.get("params", {}))
+            )
         label, attack, params = entry
         return AttackGridEntry(label, attack, dict(params))
 
@@ -98,6 +106,28 @@ class ExperimentSpec:
     def replace(self, **changes) -> "ExperimentSpec":
         """A copy of this spec with ``changes`` applied."""
         return replace(self, **changes)
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_dict` / JSON form.
+
+        This is the wire format: ``python -m repro info <name> --json`` emits
+        it and the service's ``POST /jobs`` accepts it inline.  Round-trips
+        exactly -- JSON encodes tuples and lists identically, so the rebuilt
+        spec's :meth:`digest` (and therefore every cell cache key) matches
+        the original's.  Unknown fields are rejected rather than silently
+        dropped, so a typo cannot change which cells a submission means.
+        """
+        known = {f for f in ExperimentSpec.__dataclass_fields__}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(
+                f"unknown experiment-spec fields {sorted(extra)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        if "name" not in payload or "kind" not in payload:
+            raise ValueError("an experiment spec requires at least 'name' and 'kind'")
+        return ExperimentSpec(**dict(payload))
 
     def digest(self) -> str:
         """Stable content hash of the spec (used in cache keys)."""

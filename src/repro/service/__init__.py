@@ -1,0 +1,21 @@
+"""repro.service -- the long-lived robustness-evaluation service.
+
+A stdlib-only HTTP front end (:mod:`repro.service.http`) over an asyncio
+job queue (:mod:`repro.service.jobs`) that executes experiment submissions
+through the shared :class:`~repro.pipeline.runner.Runner` / artifact-store
+machinery.  Start it with ``python -m repro serve``.
+"""
+
+from repro.service.app import DEFAULT_HOST, DEFAULT_PORT, Service, serve, serve_async
+from repro.service.jobs import Job, JobQueue, SubmitError
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Service",
+    "serve",
+    "serve_async",
+    "Job",
+    "JobQueue",
+    "SubmitError",
+]

@@ -1,0 +1,210 @@
+"""The robustness-evaluation service: HTTP API over the job queue.
+
+``python -m repro serve`` keeps one long-lived process warm (trained zoo
+models stay memoised in-process; the artifact store keeps every computed
+cell) and exposes the experiment pipeline over plain HTTP:
+
+* ``GET  /health`` / ``GET /store/stats`` -- liveness and store telemetry
+* ``GET  /experiments`` / ``GET /experiments/{name}`` -- the catalog, as the
+  machine-readable specs ``POST /jobs`` accepts
+* ``POST /jobs`` -- submit a batch ``{"experiments": [...], "fast": true}``
+  (catalog names or inline spec objects); responds ``202`` with the job id
+  and a dedup report (how many cells are cached / already in flight)
+* ``GET  /jobs`` / ``GET /jobs/{id}`` -- queue listing and job snapshots
+* ``GET  /jobs/{id}/events`` -- the job's progress stream as NDJSON
+  (``?from=N`` resumes mid-stream); terminates when the job does
+* ``GET  /results/{name}`` -- a finished experiment's JSON result, served
+  straight from the results directory (instant for anything ever computed)
+* ``POST /store/gc`` -- run artifact-store eviction on demand
+
+Everything is stdlib: the HTTP layer is :mod:`repro.service.http`, jobs run
+on :mod:`repro.service.jobs`, artifacts live in :mod:`repro.store`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.experiments.zoo import CACHE_DIR
+from repro.pipeline.runner import Runner, get_experiment, list_experiments
+from repro.service.http import HttpError, HttpServer, Request, Response
+from repro.service.jobs import JobQueue, SubmitError
+from repro.store import ArtifactStore, parse_size
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: experiment names are catalog identifiers, never paths
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+class Service:
+    """One service instance: job queue + artifact store + route table."""
+
+    def __init__(
+        self,
+        results_dir: Union[str, Path] = "results",
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: int = 2,
+        jobs: Union[int, str, None] = 1,
+        fast_default: bool = False,
+        progress=None,
+    ):
+        self.results_dir = Path(results_dir)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.default_jobs = jobs
+        self.fast_default = bool(fast_default)
+        self.progress = progress
+        self.store = ArtifactStore(
+            self.cache_dir if self.cache_dir is not None else CACHE_DIR / "pipeline"
+        )
+        self.queue = JobQueue(self._make_runner, workers=workers)
+        self.http = HttpServer()
+        self._register_routes()
+
+    def _make_runner(self, fast: bool = False, jobs: Union[int, str, None] = None) -> Runner:
+        return Runner(
+            fast=fast,
+            results_dir=self.results_dir,
+            cache_dir=self.cache_dir,
+            jobs=self.default_jobs if jobs is None else jobs,
+            progress=self.progress,
+        )
+
+    # -------------------------------------------------------------- routes
+    def _register_routes(self) -> None:
+        route = self.http.route
+
+        @route("GET", "/health")
+        def health(request: Request):
+            import repro
+
+            return {
+                "status": "ok",
+                "service": "repro",
+                "version": repro.__version__,
+                "queue": self.queue.stats(),
+            }
+
+        @route("GET", "/experiments")
+        def experiments(request: Request):
+            names = list_experiments()
+            if request.query.get("full"):
+                return {"experiments": [get_experiment(n).to_dict() for n in names]}
+            return {"experiments": names}
+
+        @route("GET", "/experiments/{name}")
+        def experiment(request: Request, name: str):
+            try:
+                spec = get_experiment(name)
+            except KeyError:
+                raise HttpError(404, f"no such experiment: {name}") from None
+            return spec.to_dict()
+
+        @route("POST", "/jobs")
+        def submit(request: Request):
+            payload = request.json()
+            if payload is None:
+                raise HttpError(400, "POST /jobs needs a JSON body")
+            try:
+                job = self.queue.submit(payload)
+            except SubmitError as exc:
+                raise HttpError(400, str(exc)) from None
+            return Response(202, job.snapshot())
+
+        @route("GET", "/jobs")
+        def jobs(request: Request):
+            return {
+                "jobs": [job.snapshot() for job in self.queue.jobs.values()],
+                "stats": self.queue.stats(),
+            }
+
+        @route("GET", "/jobs/{job_id}")
+        def job_detail(request: Request, job_id: str):
+            return self._job(job_id).snapshot()
+
+        @route("GET", "/jobs/{job_id}/events")
+        def job_events(request: Request, job_id: str):
+            job = self._job(job_id)
+            try:
+                from_seq = int(request.query.get("from", "0"))
+            except ValueError:
+                raise HttpError(400, "'from' must be an integer sequence number") from None
+
+            async def ndjson():
+                async for event in self.queue.stream(job, from_seq):
+                    yield json.dumps(event, sort_keys=False)
+
+            return ndjson()
+
+        @route("GET", "/results/{name}")
+        def result(request: Request, name: str):
+            if not _NAME_RE.match(name) or name.startswith("."):
+                raise HttpError(400, f"invalid experiment name: {name!r}")
+            path = self.results_dir / f"{name}.json"
+            try:
+                text = path.read_text()
+            except OSError:
+                raise HttpError(
+                    404, f"no result for {name!r} yet (submit it via POST /jobs)"
+                ) from None
+            return Response(text=text, content_type="application/json")
+
+        @route("GET", "/store/stats")
+        def store_stats(request: Request):
+            return self.store.stats()
+
+        @route("POST", "/store/gc")
+        def store_gc(request: Request):
+            payload = request.json(default={}) or {}
+            budget = parse_size(payload.get("budget")) if "budget" in payload else None
+            return self.store.gc(budget=budget)
+
+    def _job(self, job_id: str):
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        return job
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+        """Start workers + listener; returns the ``asyncio`` server object.
+
+        ``port=0`` binds an ephemeral port; read it back from
+        ``server.sockets[0].getsockname()`` (the tests do).
+        """
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.queue.start()
+        return await self.http.start(host, port)
+
+    async def close(self) -> None:
+        await self.queue.close()
+
+
+async def serve_async(
+    host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, **service_kwargs
+) -> None:
+    """Run the service until cancelled."""
+    service = Service(**service_kwargs)
+    server = await service.start(host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro.service listening on http://{bound[0]}:{bound[1]}", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.close()
+
+
+def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, **service_kwargs) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    try:
+        asyncio.run(serve_async(host, port, **service_kwargs))
+    except KeyboardInterrupt:
+        print("repro.service: shutting down", file=sys.stderr)
+    return 0

@@ -1,0 +1,258 @@
+"""A minimal stdlib-only asyncio HTTP/1.1 server.
+
+Just enough HTTP for the robustness-evaluation service: request-line +
+header parsing, ``Content-Length`` bodies, path templates with ``{param}``
+segments, JSON responses, and close-delimited NDJSON streaming for the
+job-event endpoints.  Every connection serves exactly one request
+(``Connection: close``) -- the service's clients are submit/poll/stream
+loops, not high-frequency RPC, and one-shot connections keep the protocol
+surface tiny and impossible to desynchronise.
+
+No third-party framework is involved; the module depends only on
+:mod:`asyncio`, :mod:`json` and :mod:`urllib.parse`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import json
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request hygiene limits -- a misbehaving client cannot balloon the process
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Raise inside a handler to return a JSON error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def json(self, default: Any = None) -> Any:
+        """The request body as JSON; 400 on malformed input."""
+        if not self.body:
+            return default
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from None
+
+
+@dataclass
+class Response:
+    """One full (non-streaming) HTTP response."""
+
+    status: int = 200
+    payload: Any = None  #: JSON-encoded unless ``text`` is given
+    text: Optional[str] = None
+    content_type: Optional[str] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        if self.text is not None:
+            body = self.text.encode("utf-8")
+            content_type = self.content_type or "text/plain; charset=utf-8"
+        else:
+            body = (json.dumps(self.payload, indent=2, sort_keys=False) + "\n").encode("utf-8")
+            content_type = self.content_type or "application/json"
+        phrase = STATUS_PHRASES.get(self.status, "OK")
+        head = [
+            f"HTTP/1.1 {self.status} {phrase}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in self.headers.items())
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+#: a handler returns a Response (or JSON-able payload), or an async iterator
+#: of strings to stream as close-delimited NDJSON
+Handler = Callable[..., Any]
+
+
+@dataclass
+class _Route:
+    method: str
+    segments: Tuple[str, ...]
+    handler: Handler
+
+    def match(self, parts: Tuple[str, ...]) -> Optional[Dict[str, str]]:
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for pattern, part in zip(self.segments, parts):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                params[pattern[1:-1]] = unquote(part)
+            elif pattern != part:
+                return None
+        return params
+
+
+class HttpServer:
+    """Route table + connection handling over ``asyncio.start_server``."""
+
+    def __init__(self, name: str = "repro.service"):
+        self.name = name
+        self._routes: List[_Route] = []
+
+    def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+        """Register ``handler(request, **params)`` for ``method pattern``.
+
+        ``pattern`` is a slash path with optional ``{param}`` segments, e.g.
+        ``"/jobs/{job_id}/events"``.
+        """
+
+        def register(handler: Handler) -> Handler:
+            segments = tuple(s for s in pattern.strip("/").split("/") if s)
+            self._routes.append(_Route(method.upper(), segments, handler))
+            return handler
+
+        return register
+
+    async def start(self, host: str, port: int) -> asyncio.AbstractServer:
+        return await asyncio.start_server(self._serve_connection, host, port)
+
+    # ------------------------------------------------------------ internals
+    def _match(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        parts = tuple(s for s in path.strip("/").split("/") if s)
+        allowed: List[str] = []
+        for route in self._routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method == method:
+                return route.handler, params
+            allowed.append(route.method)
+        if allowed:
+            raise HttpError(405, f"{method} not allowed here (try {sorted(set(allowed))})")
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode("ascii").split(None, 2)
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        total = len(request_line)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise HttpError(413, "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                raise HttpError(400, "malformed Content-Length")
+            if n > MAX_BODY_BYTES:
+                raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            body = await reader.readexactly(n)
+        split = urlsplit(target)
+        query = dict(parse_qsl(split.query, keep_blank_values=True))
+        return Request(
+            method=method.upper(),
+            path=unquote(split.path) or "/",
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stream: Optional[AsyncIterator[str]] = None
+        try:
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                handler, params = self._match(request.method, request.path)
+                result = handler(request, **params)
+                if inspect.isawaitable(result):
+                    result = await result
+            except HttpError as exc:
+                result = Response(exc.status, {"error": exc.message})
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # a handler bug is a 500, not a dead server
+                traceback.print_exc(file=sys.stderr)
+                result = Response(500, {"error": f"{type(exc).__name__}: {exc}"})
+            if hasattr(result, "__aiter__"):
+                stream = result
+                await self._stream_ndjson(writer, stream)
+            else:
+                if not isinstance(result, Response):
+                    result = Response(payload=result)
+                writer.write(result.encode())
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to salvage
+        finally:
+            if stream is not None and hasattr(stream, "aclose"):
+                await stream.aclose()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _stream_ndjson(
+        self, writer: asyncio.StreamWriter, stream: AsyncIterator[str]
+    ) -> None:
+        """Send a close-delimited NDJSON stream (one JSON document per line)."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        async for line in stream:
+            writer.write((line.rstrip("\n") + "\n").encode("utf-8"))
+            await writer.drain()

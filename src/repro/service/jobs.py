@@ -1,0 +1,302 @@
+"""The asyncio job queue behind the robustness-evaluation service.
+
+A *job* is one submitted batch of experiments (catalog names or inline
+:class:`~repro.pipeline.spec.ExperimentSpec` dicts).  Submission is cheap
+and synchronous on the event loop: the specs are resolved, planned into
+their deduplicated cell graph (:func:`repro.parallel.plan.build_plan` -- no
+model is resolved, nothing is computed) and the planned digests are compared
+against the artifact store and the cells of already-running jobs, so the
+submit response can say up front how much of the work is cached or already
+in flight.
+
+Execution happens on a small pool of worker tasks, each running the blocking
+:meth:`Runner.run_many` in a thread.  Concurrent jobs that share cells do
+not race: every cell is computed under its store lease, so the first job
+computes it and the others read the published artifact -- the job telemetry
+(one ``cell`` event per cell, ``computed`` vs ``hit``) proves the dedup to
+the client.  Progress is forwarded to the event loop as a monotonically
+numbered event list per job, which the HTTP layer replays and streams as
+NDJSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional
+
+from repro.pipeline.runner import Runner
+from repro.pipeline.spec import ExperimentSpec
+
+#: job lifecycle: queued -> running -> done | failed
+TERMINAL_STATES = ("done", "failed")
+
+
+class SubmitError(ValueError):
+    """A malformed submission (unknown experiment, bad inline spec...)."""
+
+
+@dataclass
+class Job:
+    """One submitted batch of experiments and its execution record."""
+
+    id: str
+    names: List[str]
+    specs: List[ExperimentSpec]
+    fast: bool
+    jobs: int  #: worker processes per runner (1 = serial in the job thread)
+    digests: List[str]
+    dedup: Dict[str, int]
+    status: str = "queued"
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    _wakeup: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def post(self, event: str, **data: Any) -> None:
+        """Append one event and wake every streamer.  Event-loop thread only."""
+        self.events.append({"seq": len(self.events), "event": event, "job": self.id, **data})
+        wakeup, self._wakeup = self._wakeup, asyncio.Event()
+        wakeup.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The job's public JSON form (``GET /jobs/<id>``)."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "experiments": list(self.names),
+            "fast": self.fast,
+            "jobs": self.jobs,
+            "dedup": dict(self.dedup),
+            "submitted_unix": round(self.submitted_unix, 3),
+            "events": len(self.events),
+            "links": {
+                "self": f"/jobs/{self.id}",
+                "events": f"/jobs/{self.id}/events",
+                "results": [f"/results/{name}" for name in self.names],
+            },
+        }
+        if self.started_unix is not None:
+            out["started_unix"] = round(self.started_unix, 3)
+        if self.finished_unix is not None:
+            out["finished_unix"] = round(self.finished_unix, 3)
+            out["elapsed_seconds"] = round(self.finished_unix - self.started_unix, 4)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.summary:
+            out["summary"] = self.summary
+        return out
+
+
+#: builds a Runner for one job; the service binds results/cache directories
+RunnerFactory = Callable[..., Runner]
+
+
+class JobQueue:
+    """FIFO job queue executing on ``workers`` concurrent runner threads."""
+
+    def __init__(self, runner_factory: RunnerFactory, workers: int = 2):
+        self.runner_factory = runner_factory
+        self.workers = max(1, int(workers))
+        self.jobs: Dict[str, Job] = {}
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._inflight: Dict[str, str] = {}  # cell digest -> running job id
+        self._tasks: List[asyncio.Task] = []
+        self._counter = 0
+
+    # ---------------------------------------------------------------- control
+    def start(self) -> None:
+        if not self._tasks:
+            self._tasks = [
+                asyncio.get_running_loop().create_task(self._worker())
+                for _ in range(self.workers)
+            ]
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, payload: Any) -> Job:
+        """Validate, plan and enqueue one submission (event-loop thread).
+
+        ``payload`` is the decoded request body: ``{"experiments": [...],
+        "fast": bool, "jobs": int}`` where each experiment is a catalog name
+        or an inline spec dict -- or a bare spec dict (what ``python -m repro
+        info <name> --json`` emits).
+        """
+        from repro.parallel.plan import build_plan
+
+        if isinstance(payload, dict) and "experiments" not in payload:
+            if "name" in payload and "kind" in payload:
+                payload = {"experiments": [payload]}  # a bare inline spec
+            else:
+                raise SubmitError(
+                    "submission needs an 'experiments' list (catalog names or "
+                    "inline spec objects), or a bare spec with 'name' and 'kind'"
+                )
+        if not isinstance(payload, dict):
+            raise SubmitError("submission body must be a JSON object")
+        requested = payload.get("experiments")
+        if isinstance(requested, str):
+            requested = [requested]
+        if not isinstance(requested, list) or not requested:
+            raise SubmitError("'experiments' must be a non-empty list")
+        fast = bool(payload.get("fast", False))
+        jobs = payload.get("jobs", None)
+        specs = [self._resolve(entry) for entry in requested]
+
+        planner = self.runner_factory(fast=fast, jobs=jobs)
+        try:
+            plan = build_plan(planner, specs)
+        except Exception as exc:
+            raise SubmitError(f"planning failed: {exc}") from exc
+        digests = list(plan.tasks)
+        cached = sum(
+            1 for d, t in plan.tasks.items() if planner.store.contains(t.kind, d)
+        )
+        inflight = sum(
+            1
+            for d, t in plan.tasks.items()
+            if d in self._inflight and not planner.store.contains(t.kind, d)
+        )
+        self._counter += 1
+        job = Job(
+            id=f"job{self._counter}-{secrets.token_hex(4)}",
+            names=[spec.name for spec in specs],
+            specs=specs,
+            fast=fast,
+            jobs=planner.jobs,
+            digests=digests,
+            dedup={
+                "cells_total": len(digests),
+                "cells_cached": cached,
+                "cells_inflight": inflight,
+                "cells_new": len(digests) - cached - inflight,
+            },
+        )
+        self.jobs[job.id] = job
+        job.post("status", status="queued", experiments=job.names, dedup=job.dedup)
+        self._queue.put_nowait(job)
+        return job
+
+    @staticmethod
+    def _resolve(entry: Any) -> ExperimentSpec:
+        from repro.pipeline.runner import get_experiment
+        from repro.registry import RegistryError
+
+        if isinstance(entry, str):
+            try:
+                return get_experiment(entry)
+            except RegistryError as exc:
+                raise SubmitError(str(exc.args[0])) from None
+        if isinstance(entry, dict):
+            try:
+                return ExperimentSpec.from_dict(entry)
+            except (TypeError, ValueError) as exc:
+                raise SubmitError(f"bad inline spec: {exc}") from None
+        raise SubmitError(f"experiment entries must be names or spec objects, got {entry!r}")
+
+    # -------------------------------------------------------------- execution
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            job.status = "running"
+            job.started_unix = time.time()
+            for digest in job.digests:
+                self._inflight.setdefault(digest, job.id)
+            job.post("status", status="running")
+            try:
+                await loop.run_in_executor(None, self._execute, loop, job)
+            except Exception as exc:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_unix = time.time()
+                job.post("status", status="failed", error=job.error)
+            else:
+                job.status = "done"
+                job.finished_unix = time.time()
+                job.post(
+                    "status",
+                    status="done",
+                    elapsed_seconds=round(job.finished_unix - job.started_unix, 4),
+                )
+            finally:
+                for digest in job.digests:
+                    if self._inflight.get(digest) == job.id:
+                        del self._inflight[digest]
+                self._queue.task_done()
+
+    def _execute(self, loop: asyncio.AbstractEventLoop, job: Job) -> None:
+        """Run one job's experiments (worker thread; events hop to the loop)."""
+        runner = self.runner_factory(fast=job.fast, jobs=job.jobs)
+        runner.on_cell = lambda event: loop.call_soon_threadsafe(
+            functools.partial(job.post, "cell", **event.to_dict())
+        )
+
+        def on_result(result) -> None:
+            job.results[result.name] = result.to_json()
+            loop.call_soon_threadsafe(
+                functools.partial(
+                    job.post,
+                    "result",
+                    name=result.name,
+                    cache_hits=result.cache_hits,
+                    cache_misses=result.cache_misses,
+                    elapsed_seconds=round(result.elapsed_seconds, 4),
+                )
+            )
+
+        runner.run_many(job.specs, on_result=on_result)
+        telemetry = runner.telemetry
+        job.summary = {
+            "cells_total": telemetry.cells_total,
+            "cache_hits": telemetry.cache_hits,
+            "cache_misses": telemetry.cache_misses,
+            "compute_seconds": round(telemetry.compute_seconds, 4),
+            "attack_queries": telemetry.attack_queries(),
+        }
+
+    # -------------------------------------------------------------- streaming
+    async def stream(self, job: Job, from_seq: int = 0) -> AsyncIterator[Dict[str, Any]]:
+        """Replay the job's events from ``from_seq`` and follow until terminal."""
+        index = max(0, int(from_seq))
+        while True:
+            wakeup = job._wakeup  # capture before draining: no lost wake-ups
+            while index < len(job.events):
+                yield job.events[index]
+                index += 1
+            if job.terminal:
+                return
+            await wakeup.wait()
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return {
+            "jobs_total": len(self.jobs),
+            "by_status": counts,
+            "queued": self._queue.qsize(),
+            "inflight_cells": len(self._inflight),
+            "workers": self.workers,
+        }

@@ -1,0 +1,404 @@
+"""Multi-tenant content-addressed artifact store.
+
+The pipeline's per-cell JSON cache started life as bare files guarded by a
+``flock`` (PR 2).  This module generalises it into an :class:`ArtifactStore`
+shared by every client of one cache directory -- CLI runs, pool workers and
+the :mod:`repro.service` job queue -- with the read/write discipline of an
+optimistically-fast MWMR register:
+
+* **Lock-free optimistic reads.**  Artifacts are only ever published through
+  an atomic same-directory rename, so a reader never observes a torn file:
+  :meth:`ArtifactStore.get` is a plain ``read + json.loads`` with *no* lock
+  taken.  This is the hot path -- a warm cache costs one ``open`` per cell.
+* **Writer leases.**  A missing artifact is computed under a *lease*: a JSON
+  claim file naming the writer (pid, host, token) with an expiry.  Leases are
+  acquired/refreshed/released under a short ``flock`` critical section, but
+  the claim itself is authoritative: a lease whose owner process has died
+  (same host) or whose TTL has lapsed (hung or remote writer) is taken over
+  by the next acquirer, so a crashed worker never wedges a cell.  Waiters
+  poll the artifact optimistically and only fall back to lease acquisition
+  when the writer vanishes -- contention is the slow path, not the default.
+* **LRU eviction under a byte budget.**  :meth:`gc` evicts least-recently-read
+  artifacts (reads touch mtimes) until the store fits ``budget`` bytes
+  (``REPRO_STORE_BUDGET``, e.g. ``512M``); artifacts under an active lease
+  are never evicted.  ``python -m repro cache stats|gc`` surfaces both.
+
+Namespaces (one subdirectory per tenant -- the pipeline uses one per cell
+kind) keep co-hosted workloads from colliding while still sharing one budget
+and one lease table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.parallel.locks import FileLock, atomic_write_json
+
+#: default writer-lease lifetime (seconds); ``REPRO_STORE_LEASE_TTL``
+#: overrides it.  Same-host crashes are reclaimed immediately via a pid
+#: liveness probe -- the TTL only bounds how long a *hung* (or remote)
+#: writer can hold a cell.
+DEFAULT_LEASE_TTL = 300.0
+
+#: directories under the store root that hold bookkeeping, not artifacts
+_RESERVED_DIRS = frozenset({"leases", "locks"})
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: Union[str, int, None]) -> Optional[int]:
+    """``"512M"`` / ``"2G"`` / ``"1048576"`` -> bytes; empty/None -> ``None``."""
+    if text is None or isinstance(text, int):
+        return text
+    text = text.strip().lower().replace("_", "")
+    if not text:
+        return None
+    if text.endswith("b"):
+        text = text[:-1]
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        return max(0, int(float(text) * factor))
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r} (expected e.g. '512M', '2G', bytes)")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on *this* host."""
+    try:
+        os.kill(int(pid), 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError, ValueError):
+        return True  # exists but not ours / unprobeable: assume alive
+    return True
+
+
+@dataclass
+class Lease:
+    """An acquired writer claim on one ``(namespace, digest)`` artifact.
+
+    Only the holder (matching ``token``) can refresh or release it; a stale
+    release after a takeover is a silent no-op, so a resurrected writer can
+    never drop the usurper's claim.
+    """
+
+    store: "ArtifactStore"
+    namespace: str
+    digest: str
+    token: str
+    ttl: float
+
+    def refresh(self) -> bool:
+        """Extend the claim's expiry; ``False`` if the lease was taken over."""
+        return self.store._refresh_lease(self)
+
+    def release(self) -> None:
+        self.store._release_lease(self)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifacts under ``root/<namespace>/<digest>.json``.
+
+    Parameters
+    ----------
+    root:
+        The store directory (shared by every cooperating process).
+    budget:
+        Byte budget for :meth:`gc`; ``None`` (default) reads
+        ``REPRO_STORE_BUDGET`` (unset means unbounded).  When bounded, writes
+        trigger opportunistic eviction.
+    lease_ttl:
+        Writer-lease lifetime in seconds; ``None`` reads
+        ``REPRO_STORE_LEASE_TTL`` (default :data:`DEFAULT_LEASE_TTL`).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        budget: Union[str, int, None] = None,
+        lease_ttl: Optional[float] = None,
+    ):
+        self.root = Path(root)
+        if budget is None:
+            budget = parse_size(os.environ.get("REPRO_STORE_BUDGET"))
+        self.budget = parse_size(budget)
+        if lease_ttl is None:
+            raw = os.environ.get("REPRO_STORE_LEASE_TTL", "")
+            try:
+                lease_ttl = float(raw)
+            except ValueError:
+                lease_ttl = DEFAULT_LEASE_TTL
+        self.lease_ttl = max(0.001, float(lease_ttl))
+        self._host = socket.gethostname()
+        self._token_counter = 0
+
+    # ----------------------------------------------------------------- paths
+    def path(self, namespace: str, digest: str) -> Path:
+        """Where the artifact lives (the legacy cell-cache layout, unchanged)."""
+        return self.root / self._safe(namespace) / f"{digest}.json"
+
+    def _lease_path(self, namespace: str, digest: str) -> Path:
+        return self.root / "leases" / f"{self._safe(namespace)}.{digest}.lease"
+
+    def _meta_lock(self, namespace: str, digest: str) -> FileLock:
+        path = self.root / "leases" / f"{self._safe(namespace)}.{digest}.lock"
+        return FileLock(path)
+
+    @staticmethod
+    def _safe(namespace: str) -> str:
+        name = str(namespace).replace(os.sep, "_").replace("..", "_")
+        if not name or name in _RESERVED_DIRS or name.startswith("."):
+            raise ValueError(f"invalid store namespace {namespace!r}")
+        return name
+
+    # ----------------------------------------------------------- fast path IO
+    def get(self, namespace: str, digest: str) -> Optional[Any]:
+        """Optimistic lock-free read: the artifact value, or ``None``.
+
+        Atomic publication means the file is either absent or complete --
+        no lock is taken.  A corrupt artifact (pre-atomic-writes leftovers)
+        is removed and treated as absent.  Successful reads touch the file's
+        mtime so :meth:`gc` evicts in least-recently-*read* order.
+        """
+        path = self.path(namespace, digest)
+        try:
+            value = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return value
+
+    def contains(self, namespace: str, digest: str) -> bool:
+        return self.path(namespace, digest).exists()
+
+    def put(self, namespace: str, digest: str, value: Any, sort_keys: bool = True) -> Path:
+        """Atomically publish an artifact (readers see absent or complete)."""
+        path = self.path(namespace, digest)
+        atomic_write_json(path, value, sort_keys=sort_keys)
+        if self.budget is not None:
+            self.gc()
+        return path
+
+    # ------------------------------------------------------------- leases
+    def try_lease(
+        self, namespace: str, digest: str, ttl: Optional[float] = None
+    ) -> Optional[Lease]:
+        """Claim the writer lease, or ``None`` if a live writer holds it.
+
+        A stale claim -- expired TTL, or a dead owner pid on this host -- is
+        taken over on the spot.
+        """
+        ttl = self.lease_ttl if ttl is None else max(0.001, float(ttl))
+        lease_path = self._lease_path(namespace, digest)
+        with self._meta_lock(namespace, digest):
+            holder = self._read_claim(lease_path)
+            if holder is not None and not self._stale(holder):
+                return None
+            self._token_counter += 1
+            token = f"{os.getpid()}.{id(self)}.{self._token_counter}"
+            self._write_claim(lease_path, token, ttl)
+        return Lease(store=self, namespace=namespace, digest=digest, token=token, ttl=ttl)
+
+    def lease_holder(self, namespace: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The current (possibly stale) claim record, for observability."""
+        return self._read_claim(self._lease_path(namespace, digest))
+
+    def wait_for(
+        self,
+        namespace: str,
+        digest: str,
+        poll: float = 0.02,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[Any], Optional[Lease]]:
+        """Wait out a foreign writer: ``(value, None)`` or ``(None, lease)``.
+
+        Polls the artifact optimistically (the common case: the writer
+        publishes and we read it lock-free) and falls back to claiming the
+        lease only when the writer disappeared without publishing -- then the
+        caller computes the artifact itself under the returned lease.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            value = self.get(namespace, digest)
+            if value is not None:
+                return value, None
+            lease = self.try_lease(namespace, digest)
+            if lease is not None:
+                return None, lease
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"artifact {namespace}/{digest[:12]} still leased after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def _stale(self, claim: Dict[str, Any]) -> bool:
+        if float(claim.get("expires_unix", 0)) <= time.time():
+            return True
+        if claim.get("host") == self._host and not _pid_alive(claim.get("pid", -1)):
+            return True
+        return False
+
+    def _read_claim(self, path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            claim = json.loads(path.read_text())
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        return claim if isinstance(claim, dict) else None
+
+    def _write_claim(self, path: Path, token: str, ttl: float) -> None:
+        now = time.time()
+        atomic_write_json(
+            path,
+            {
+                "token": token,
+                "pid": os.getpid(),
+                "host": self._host,
+                "acquired_unix": now,
+                "expires_unix": now + ttl,
+                "ttl": ttl,
+            },
+        )
+
+    def _refresh_lease(self, lease: Lease) -> bool:
+        path = self._lease_path(lease.namespace, lease.digest)
+        with self._meta_lock(lease.namespace, lease.digest):
+            holder = self._read_claim(path)
+            if holder is None or holder.get("token") != lease.token:
+                return False  # taken over; the usurper owns the cell now
+            self._write_claim(path, lease.token, lease.ttl)
+            return True
+
+    def _release_lease(self, lease: Lease) -> None:
+        path = self._lease_path(lease.namespace, lease.digest)
+        with self._meta_lock(lease.namespace, lease.digest):
+            holder = self._read_claim(path)
+            if holder is not None and holder.get("token") == lease.token:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------- stats / eviction
+    def _artifacts(self) -> Iterator[Tuple[str, str, Path, os.stat_result]]:
+        """Every ``(namespace, digest, path, stat)`` currently in the store."""
+        try:
+            namespaces = sorted(
+                entry.name
+                for entry in os.scandir(self.root)
+                if entry.is_dir() and entry.name not in _RESERVED_DIRS
+                and not entry.name.startswith(".")
+            )
+        except FileNotFoundError:
+            return
+        for namespace in namespaces:
+            try:
+                entries = sorted(os.scandir(self.root / namespace), key=lambda e: e.name)
+            except FileNotFoundError:
+                continue
+            for entry in entries:
+                if not entry.name.endswith(".json") or entry.name.startswith("."):
+                    continue
+                try:
+                    yield namespace, entry.name[: -len(".json")], Path(entry.path), entry.stat()
+                except OSError:
+                    continue
+
+    def _active_leases(self) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """``(namespace, digest) -> claim`` for every non-stale lease."""
+        active: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        try:
+            entries = list(os.scandir(self.root / "leases"))
+        except FileNotFoundError:
+            return active
+        for entry in entries:
+            if not entry.name.endswith(".lease"):
+                continue
+            claim = self._read_claim(Path(entry.path))
+            if claim is None or self._stale(claim):
+                continue
+            namespace, _, digest = entry.name[: -len(".lease")].rpartition(".")
+            active[(namespace, digest)] = claim
+        return active
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy summary (``python -m repro cache stats``)."""
+        namespaces: Dict[str, Dict[str, int]] = {}
+        total_bytes = 0
+        count = 0
+        for namespace, _digest, _path, stat in self._artifacts():
+            entry = namespaces.setdefault(namespace, {"artifacts": 0, "bytes": 0})
+            entry["artifacts"] += 1
+            entry["bytes"] += stat.st_size
+            total_bytes += stat.st_size
+            count += 1
+        return {
+            "root": str(self.root),
+            "budget_bytes": self.budget,
+            "lease_ttl_seconds": self.lease_ttl,
+            "artifacts": count,
+            "bytes": total_bytes,
+            "active_leases": len(self._active_leases()),
+            "namespaces": namespaces,
+        }
+
+    def gc(self, budget: Union[str, int, None] = None) -> Dict[str, Any]:
+        """Evict least-recently-read artifacts until the store fits ``budget``.
+
+        Artifacts under an active lease are never evicted (their writer --
+        or a reader that just took the lease to recompute -- is live).  With
+        no budget configured this is a no-op scan.
+        """
+        budget = self.budget if budget is None else parse_size(budget)
+        entries = sorted(self._artifacts(), key=lambda e: (e[3].st_mtime, e[2]))
+        total = sum(stat.st_size for _, _, _, stat in entries)
+        report = {
+            "budget_bytes": budget,
+            "bytes_before": total,
+            "scanned": len(entries),
+            "evicted": 0,
+            "evicted_bytes": 0,
+            "skipped_leased": 0,
+        }
+        if budget is None:
+            report["bytes_after"] = total
+            return report
+        leased = self._active_leases()
+        for namespace, digest, path, stat in entries:
+            if total <= budget:
+                break
+            if (self._safe(namespace), digest) in leased:
+                report["skipped_leased"] += 1
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= stat.st_size
+            report["evicted"] += 1
+            report["evicted_bytes"] += stat.st_size
+        report["bytes_after"] = total
+        return report

@@ -1,0 +1,319 @@
+"""Tests for the multi-tenant content-addressed artifact store (``repro.store``).
+
+Covers the three behaviours the service tier leans on: optimistic lock-free
+reads are never torn, writer leases are mutually exclusive with stale-lease
+takeover (dead pid, expired TTL), and LRU eviction respects both the byte
+budget and active leases -- including two real processes racing on one digest.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.store import DEFAULT_LEASE_TTL, ArtifactStore, parse_size
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def make_store(tmp_path, **kwargs):
+    return ArtifactStore(tmp_path / "store", **kwargs)
+
+
+# ------------------------------------------------------------- size parsing
+def test_parse_size_units():
+    assert parse_size(None) is None
+    assert parse_size("") is None
+    assert parse_size(12345) == 12345
+    assert parse_size("1024") == 1024
+    assert parse_size("4k") == 4096
+    assert parse_size("512M") == 512 * 1024**2
+    assert parse_size("2G") == 2 * 1024**3
+    assert parse_size("1.5g") == int(1.5 * 1024**3)
+    assert parse_size("2GB") == 2 * 1024**3
+    with pytest.raises(ValueError):
+        parse_size("lots")
+
+
+def test_budget_and_ttl_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_BUDGET", "1M")
+    monkeypatch.setenv("REPRO_STORE_LEASE_TTL", "7.5")
+    store = make_store(tmp_path)
+    assert store.budget == 1024**2
+    assert store.lease_ttl == 7.5
+    monkeypatch.delenv("REPRO_STORE_BUDGET")
+    monkeypatch.delenv("REPRO_STORE_LEASE_TTL")
+    store = make_store(tmp_path)
+    assert store.budget is None
+    assert store.lease_ttl == DEFAULT_LEASE_TTL
+    # explicit arguments beat the environment
+    monkeypatch.setenv("REPRO_STORE_BUDGET", "1M")
+    assert make_store(tmp_path, budget="2G").budget == 2 * 1024**3
+
+
+# ---------------------------------------------------------------- basic IO
+def test_put_get_roundtrip_and_layout(tmp_path):
+    store = make_store(tmp_path)
+    value = {"rows": [[1, 2], [3, 4]], "label": "x"}
+    path = store.put("whitebox", "d" * 40, value)
+    assert path == store.root / "whitebox" / ("d" * 40 + ".json")  # legacy layout
+    assert store.get("whitebox", "d" * 40) == value
+    assert store.contains("whitebox", "d" * 40)
+    assert store.get("whitebox", "e" * 40) is None
+    assert not store.contains("whitebox", "e" * 40)
+
+
+def test_corrupt_artifact_reads_as_absent_and_is_removed(tmp_path):
+    store = make_store(tmp_path)
+    path = store.path("ns", "abc")
+    path.parent.mkdir(parents=True)
+    path.write_text('{"truncated": ')
+    assert store.get("ns", "abc") is None
+    assert not path.exists()  # removed so the next writer republishes cleanly
+
+
+def test_reserved_namespaces_rejected(tmp_path):
+    store = make_store(tmp_path)
+    for bad in ("leases", "locks", "", ".hidden"):
+        with pytest.raises(ValueError):
+            store.path(bad, "abc")
+
+
+# ------------------------------------------------------------------ leases
+def test_lease_mutual_exclusion_and_release(tmp_path):
+    store = make_store(tmp_path)
+    lease = store.try_lease("ns", "d1")
+    assert lease is not None
+    assert store.try_lease("ns", "d1") is None  # held
+    assert store.try_lease("ns", "d2") is not None  # other digests independent
+    holder = store.lease_holder("ns", "d1")
+    assert holder["pid"] == os.getpid()
+    lease.release()
+    assert store.lease_holder("ns", "d1") is None
+    assert store.try_lease("ns", "d1") is not None  # reacquirable
+
+
+def test_lease_ttl_takeover(tmp_path):
+    store = make_store(tmp_path, lease_ttl=0.05)
+    first = store.try_lease("ns", "d1")
+    assert first is not None
+    # forge a remote host so the pid-liveness probe cannot keep it alive:
+    # only the TTL can expire this claim
+    lease_path = store._lease_path("ns", "d1")
+    claim = json.loads(lease_path.read_text())
+    claim["host"] = "elsewhere"
+    lease_path.write_text(json.dumps(claim))
+    assert store.try_lease("ns", "d1") is None  # not expired yet
+    time.sleep(0.08)
+    second = store.try_lease("ns", "d1")
+    assert second is not None  # TTL lapsed: taken over
+    # the usurped holder can no longer refresh or release the claim
+    assert first.refresh() is False
+    first.release()
+    assert store.lease_holder("ns", "d1")["token"] == second.token
+
+
+def test_lease_dead_pid_takeover(tmp_path):
+    store = make_store(tmp_path)  # default 300s TTL: only the pid probe helps
+    ctx = multiprocessing.get_context()
+    proc = ctx.Process(target=_acquire_and_exit, args=(store.root,))
+    proc.start()
+    proc.join(timeout=30)
+    assert proc.exitcode == 0
+    holder = store.lease_holder("ns", "d1")
+    assert holder is not None and holder["pid"] == proc.pid
+    # the claim's pid is dead on this host -> immediate takeover, no TTL wait
+    assert store.try_lease("ns", "d1") is not None
+
+
+def _acquire_and_exit(root):
+    lease = ArtifactStore(root).try_lease("ns", "d1")
+    assert lease is not None
+    # exit WITHOUT releasing: simulates a worker crashing mid-computation
+
+
+def test_refresh_extends_expiry(tmp_path):
+    store = make_store(tmp_path, lease_ttl=0.2)
+    lease = store.try_lease("ns", "d1")
+    for _ in range(3):
+        time.sleep(0.1)
+        assert lease.refresh() is True  # keeps the claim alive past one TTL
+    assert store.try_lease("ns", "d1") is None
+    lease.release()
+
+
+def test_wait_for_returns_published_value(tmp_path):
+    store = make_store(tmp_path, lease_ttl=0.2)
+    writer = store.try_lease("ns", "d1")
+    store.put("ns", "d1", {"answer": 42})
+    writer.release()
+    value, lease = store.wait_for("ns", "d1")
+    assert value == {"answer": 42} and lease is None
+
+
+def test_wait_for_inherits_abandoned_lease(tmp_path):
+    store = make_store(tmp_path, lease_ttl=0.05)
+    lease_path = store._lease_path("ns", "d1")
+    store.try_lease("ns", "d1")  # never released...
+    claim = json.loads(lease_path.read_text())
+    claim["host"] = "elsewhere"  # ...and unprobeable: must wait out the TTL
+    lease_path.write_text(json.dumps(claim))
+    value, lease = store.wait_for("ns", "d1", poll=0.01, timeout=5.0)
+    assert value is None and lease is not None  # caller now owns the cell
+    lease.release()
+
+
+def test_wait_for_timeout(tmp_path):
+    store = make_store(tmp_path)
+    with store.try_lease("ns", "d1"):
+        with pytest.raises(TimeoutError):
+            # the holding lease belongs to this live process, so a second
+            # client can neither read a value nor take the lease over
+            ArtifactStore(store.root).wait_for("ns", "d1", poll=0.01, timeout=0.1)
+
+
+# -------------------------------------------------------- concurrent access
+@pytest.mark.skipif(not HAS_FORK, reason="needs cheap process spawning")
+def test_two_processes_race_one_digest_compute_once(tmp_path):
+    """N processes racing on one digest: exactly one computes, no torn reads."""
+    ctx = multiprocessing.get_context("fork")
+    root = tmp_path / "store"
+    queue = ctx.Queue()
+    barrier = ctx.Barrier(3)
+    procs = [
+        ctx.Process(target=_race_compute, args=(root, barrier, queue, i)) for i in range(3)
+    ]
+    for proc in procs:
+        proc.start()
+    outcomes = [queue.get(timeout=60) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    statuses = sorted(status for status, _ in outcomes)
+    assert statuses == ["computed", "hit", "hit"], outcomes
+    values = {json.dumps(value, sort_keys=True) for _, value in outcomes}
+    assert len(values) == 1  # everyone read the same complete artifact
+
+
+def _race_compute(root, barrier, queue, index):
+    store = ArtifactStore(root)
+    barrier.wait()  # maximise contention: all processes start together
+    lease = store.try_lease("cell", "shared-digest")
+    if lease is None:
+        value, lease = store.wait_for("cell", "shared-digest", poll=0.005, timeout=30)
+        if value is not None:
+            queue.put(("hit", value))
+            return
+    try:
+        value = store.get("cell", "shared-digest")
+        if value is not None:
+            queue.put(("hit", value))
+            return
+        time.sleep(0.05)  # make the computation window wide enough to race
+        value = {"computed_by": "winner", "payload": list(range(50))}
+        store.put("cell", "shared-digest", value)
+        queue.put(("computed", value))
+    finally:
+        lease.release()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs cheap process spawning")
+def test_optimistic_reads_never_torn(tmp_path):
+    """A writer republishing in a loop never exposes partial JSON to readers."""
+    ctx = multiprocessing.get_context("fork")
+    root = tmp_path / "store"
+    stop = ctx.Event()
+    writer = ctx.Process(target=_republish_loop, args=(root, stop))
+    writer.start()
+    store = ArtifactStore(root)
+    try:
+        reads = 0
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            value = store.get("ns", "hot")
+            if value is not None:
+                # every observed value is internally consistent
+                assert value["blob"] == "x" * value["size"], "torn read observed"
+                reads += 1
+        assert reads > 10  # the reader actually overlapped the writer
+    finally:
+        stop.set()
+        writer.join(timeout=30)
+        assert writer.exitcode == 0
+
+
+def _republish_loop(root, stop):
+    store = ArtifactStore(root)
+    size = 1
+    while not stop.is_set():
+        size = (size * 7) % 20000 + 1
+        store.put("ns", "hot", {"size": size, "blob": "x" * size})
+
+
+# ------------------------------------------------------------ stats and GC
+def test_stats_shape(tmp_path):
+    store = make_store(tmp_path, budget="1M", lease_ttl=9.0)
+    store.put("alpha", "a1", {"x": 1})
+    store.put("alpha", "a2", {"x": 2})
+    store.put("beta", "b1", {"x": 3})
+    with store.try_lease("beta", "b2"):
+        stats = store.stats()
+        assert stats["active_leases"] == 1
+    assert stats["artifacts"] == 3
+    assert stats["bytes"] > 0
+    assert stats["budget_bytes"] == 1024**2
+    assert stats["lease_ttl_seconds"] == 9.0
+    assert stats["namespaces"]["alpha"]["artifacts"] == 2
+    assert stats["namespaces"]["beta"]["artifacts"] == 1
+    assert store.stats()["active_leases"] == 0
+
+
+def test_gc_evicts_least_recently_read_first(tmp_path):
+    store = make_store(tmp_path)
+    payload = {"blob": "x" * 2000}
+    for i, digest in enumerate(["old", "mid", "new"]):
+        store.put("ns", digest, payload)
+        os.utime(store.path("ns", digest), (time.time() + i, time.time() + i))
+    # reading "old" touches it most-recently -> "mid" becomes the LRU victim
+    store.get("ns", "old")
+    os.utime(store.path("ns", "old"), (time.time() + 10, time.time() + 10))
+    size = store.path("ns", "new").stat().st_size
+    report = store.gc(budget=2 * size + size // 2)  # room for two artifacts
+    assert report["evicted"] == 1
+    assert not store.contains("ns", "mid")
+    assert store.contains("ns", "old") and store.contains("ns", "new")
+    assert report["bytes_after"] <= 2 * size + size // 2
+
+
+def test_gc_never_evicts_leased_artifacts(tmp_path):
+    store = make_store(tmp_path)
+    store.put("ns", "victim", {"blob": "x" * 2000})
+    store.put("ns", "fresh", {"blob": "y" * 2000})
+    os.utime(store.path("ns", "victim"), (1, 1))  # oldest: first eviction pick
+    with store.try_lease("ns", "victim"):
+        report = store.gc(budget=0)
+        assert report["skipped_leased"] == 1
+        assert store.contains("ns", "victim")  # leased: survived budget=0
+        assert not store.contains("ns", "fresh")
+    report = store.gc(budget=0)  # lease released: now evictable
+    assert report["evicted"] == 1
+    assert not store.contains("ns", "victim")
+
+
+def test_gc_without_budget_is_a_noop_scan(tmp_path):
+    store = make_store(tmp_path)
+    store.put("ns", "keep", {"x": 1})
+    report = store.gc()
+    assert report["evicted"] == 0 and report["scanned"] == 1
+    assert store.contains("ns", "keep")
+
+
+def test_put_with_budget_triggers_opportunistic_gc(tmp_path):
+    store = make_store(tmp_path, budget=1500)
+    for i in range(5):
+        store.put("ns", f"d{i}", {"blob": "x" * 1000})
+        time.sleep(0.01)  # distinct mtimes on coarse filesystems
+    assert store.stats()["bytes"] <= 1500
+    assert store.contains("ns", "d4")  # the newest write always survives
