@@ -12,6 +12,13 @@ performance trajectory across PRs:
 * ``jobs=auto``, warm cell cache -- every cell a hit, measuring plan +
   artifact-load overhead.
 
+It also estimates the cost of the ``repro.obs`` instrumentation when tracing
+is *off* (the shipped default): the per-call price of a disabled
+``TRACER.span()`` times the number of spans one traced run of the workload
+actually emits, as a fraction of the untraced wall time.  ``--check`` fails
+if that estimate reaches 2% -- the guard that keeps the tracer's disabled
+path an attribute read and an ``if``, never a context-manager allocation.
+
 Zoo models are resolved (trained or disk-loaded) once up front so the
 timings isolate pipeline execution, not model training.  Run it directly::
 
@@ -52,6 +59,11 @@ CHECK_METRICS = [
         0.05,
     ),
 ]
+
+#: absolute ceiling on the estimated tracing-off overhead fraction; unlike
+#: the ratios above this is not baseline-relative -- 2% is the budget, full
+#: stop (the measured estimate is typically under 0.1%)
+MAX_TRACING_OFF_OVERHEAD = 0.02
 
 
 def _timed_run(jobs: int, cache_dir: Path, label: str, trials: int = 1) -> dict:
@@ -108,6 +120,43 @@ def _warm_run(jobs: int, cache_dir: Path, label: str) -> dict:
     }
 
 
+def _tracing_overhead(tmp: Path, untraced_wall: float) -> dict:
+    """Estimate the cost the instrumentation adds when ``REPRO_TRACE`` is off.
+
+    Two measurements: the per-call price of a *disabled* ``TRACER.span()``
+    (timed over enough iterations to resolve tens of nanoseconds), and the
+    span count of one traced serial run of the workload (how many
+    instrumented call sites the workload actually crosses).  Their product
+    over the untraced wall time is the estimated overhead fraction a default
+    (tracing-off) run pays for carrying the instrumentation.
+    """
+    from repro.obs import TRACER
+
+    iterations = 200_000
+    TRACER.configure(enabled=False)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with TRACER.span("bench", cat="bench"):
+            pass
+    disabled_call_seconds = (time.perf_counter() - start) / iterations
+
+    TRACER.configure(enabled=True, directory=tmp / "trace-spool")
+    try:
+        runner = Runner(fast=True, cache_dir=tmp / "traced", jobs=1)
+        runner.run_many(list(FAST_PERF_SUBSET))
+        spans = (runner.telemetry.trace or {}).get("spans", 0)
+    finally:
+        TRACER.configure(enabled=False)
+
+    estimated = spans * disabled_call_seconds / max(untraced_wall, 1e-9)
+    return {
+        "disabled_span_ns": round(disabled_call_seconds * 1e9, 1),
+        "spans_per_run": spans,
+        "estimated_off_overhead": round(estimated, 6),
+        "max_off_overhead": MAX_TRACING_OFF_OVERHEAD,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", default="auto", help="parallel worker count (default: auto)")
@@ -151,6 +200,7 @@ def main(argv=None) -> int:
         warm_cache = _warm_run(
             jobs, tmp / "parallel" / "trial1", f"pool rerun (jobs={jobs}), warm cache"
         )
+        tracing = _tracing_overhead(tmp, serial["wall_seconds"])
 
     identical = serial.pop("_deterministic_payload") == parallel.pop("_deterministic_payload")
     record = {
@@ -163,6 +213,7 @@ def main(argv=None) -> int:
         "runs": [serial, parallel, warm_cache],
         "speedup": round(serial["wall_seconds"] / max(parallel["wall_seconds"], 1e-9), 3),
         "results_identical_across_jobs": identical,
+        "tracing": tracing,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -170,6 +221,14 @@ def main(argv=None) -> int:
     print(f"\n# wrote {out_path}")
     if not identical:
         print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    if args.check and tracing["estimated_off_overhead"] >= MAX_TRACING_OFF_OVERHEAD:
+        print(
+            f"ERROR: tracing-off overhead estimate "
+            f"{tracing['estimated_off_overhead']:.4f} exceeds the "
+            f"{MAX_TRACING_OFF_OVERHEAD:.0%} budget",
+            file=sys.stderr,
+        )
         return 1
     if args.check and check_regression(baseline, record, CHECK_METRICS):
         print("ERROR: performance regressed against the recorded baseline", file=sys.stderr)

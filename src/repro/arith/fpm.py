@@ -74,8 +74,12 @@ class Multiplier(ABC):
         exhaustive mantissa LUT override this with the fused engine.
         """
         from repro.arith.kernels import FallbackGemmKernel
+        from repro.obs.trace import TRACER
 
-        return FallbackGemmKernel(self)
+        with TRACER.span(
+            "kernel.build", cat="kernel", strategy="reference-fallback", multiplier=self.name
+        ):
+            return FallbackGemmKernel(self)
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self.multiply(a, b)
@@ -189,8 +193,12 @@ class ApproxFPM(Multiplier):
         if not self.use_lut:
             return super().make_gemm_kernel()
         from repro.arith.kernels import FusedLutGemmKernel
+        from repro.obs.trace import TRACER
 
-        return FusedLutGemmKernel(self)
+        with TRACER.span(
+            "kernel.build", cat="kernel", strategy="fused-lut", multiplier=self.name
+        ):
+            return FusedLutGemmKernel(self)
 
     # ------------------------------------------------------------ internals
     def _mantissa_product(self, sa: np.ndarray, sb: np.ndarray) -> np.ndarray:

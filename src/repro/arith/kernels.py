@@ -63,6 +63,7 @@ import numpy as np
 
 from repro.arith.float_format import operand_code_side, operand_codes
 from repro.counters import ProcessCounters
+from repro.obs.trace import TRACER
 
 #: bias applied to exponent sums when indexing the power-of-two table; large
 #: enough that the sum of two biased float32 exponents (plus the inf/NaN
@@ -184,9 +185,15 @@ def _resolve_product_table(multiplier) -> np.ndarray:
         key = (cache_key, frac_bits)
         table = _PRODUCT_TABLES.get(key)
         if table is None:
-            table = _PRODUCT_TABLES[key] = signed_product_table(
-                multiplier._get_lut(), frac_bits
-            )
+            with TRACER.span(
+                "kernel.product_table",
+                cat="kernel",
+                multiplier=getattr(multiplier, "name", "?"),
+                frac_bits=frac_bits,
+            ):
+                table = _PRODUCT_TABLES[key] = signed_product_table(
+                    multiplier._get_lut(), frac_bits
+                )
         return table
     return signed_product_table(multiplier._get_lut(), frac_bits)
 
@@ -353,27 +360,36 @@ class FusedLutGemmKernel(GemmKernel):
             KERNEL_STATS.weight_cache_hits += 1
             return prepared
         KERNEL_STATS.weight_cache_misses += 1
-        codes, exponents = operand_codes(weight, self.frac_bits)
-        f, k = weight.shape
-        exp_min = int(exponents.min()) if exponents.size else 0
-        exp_max = int(exponents.max()) if exponents.size else 0
-        baked = None
-        if self._can_bake(f * k, exp_min, exp_max):
-            baked = self._bake(codes, exponents)
-            KERNEL_STATS.weight_tables_baked += 1
-        exp_biased = (exponents + np.int32(POW2_BIAS)).astype(np.int32)
-        prepared = _PreparedWeights(
-            shape=weight.shape,
-            codes=codes,
-            codes_t=np.ascontiguousarray(codes.T),
-            exp_biased=exp_biased,
-            exp_biased_t=np.ascontiguousarray(exp_biased.T),
-            exp_min=exp_min,
-            exp_max=exp_max,
-            baked=baked,
-        )
-        self._prepared[cache_key] = prepared
-        return prepared
+        with TRACER.span(
+            "kernel.prepare_weights",
+            cat="kernel",
+            multiplier=getattr(self.multiplier, "name", "?"),
+            shape=list(weight.shape),
+        ) as span:
+            codes, exponents = operand_codes(weight, self.frac_bits)
+            f, k = weight.shape
+            exp_min = int(exponents.min()) if exponents.size else 0
+            exp_max = int(exponents.max()) if exponents.size else 0
+            baked = None
+            if self._can_bake(f * k, exp_min, exp_max):
+                baked = self._bake(codes, exponents)
+                KERNEL_STATS.weight_tables_baked += 1
+            # the strategy decision is the span's payload: baked per-layer
+            # tables vs the design-wide shared product table
+            span["strategy"] = "baked" if baked is not None else "shared"
+            exp_biased = (exponents + np.int32(POW2_BIAS)).astype(np.int32)
+            prepared = _PreparedWeights(
+                shape=weight.shape,
+                codes=codes,
+                codes_t=np.ascontiguousarray(codes.T),
+                exp_biased=exp_biased,
+                exp_biased_t=np.ascontiguousarray(exp_biased.T),
+                exp_min=exp_min,
+                exp_max=exp_max,
+                baked=baked,
+            )
+            self._prepared[cache_key] = prepared
+            return prepared
 
     def _can_bake(self, n_weights: int, exp_min: int, exp_max: int) -> bool:
         """Whether baking the weight exponents keeps every table entry exact.

@@ -21,6 +21,7 @@ from repro.counters import ProcessCounters
 from repro.nn.functional import softmax
 from repro.nn.layers import no_param_grads
 from repro.nn.network import Sequential
+from repro.obs.trace import TRACER
 
 
 class QueryStats(ProcessCounters):
@@ -36,8 +37,8 @@ class QueryStats(ProcessCounters):
     are deliberately excluded so the metric is not diluted by evaluation
     traffic.  Shares the GEMM kernel counters' per-process contract
     (:class:`repro.counters.ProcessCounters`): determinism guarantees
-    exclude them, and pool workers keep their own (only the planning
-    process's activity shows up in a parallel run's telemetry).
+    exclude them, and each pool worker's deltas are returned with its shard
+    results and folded into the run telemetry by the parent.
     """
 
     _FIELDS = (
@@ -128,7 +129,8 @@ class Classifier:
         self.query_count += len(x)
         QUERY_STATS.record_query(len(x))
         self._stamp_forward(len(x))
-        return self.model.predict_logits(np.asarray(x, dtype=np.float32))
+        with TRACER.span("model.forward", cat="model", batch=len(x)):
+            return self.model.predict_logits(np.asarray(x, dtype=np.float32))
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Softmax probabilities."""
@@ -165,10 +167,11 @@ class Classifier:
         try:
             with no_param_grads():  # attacks only consume the input gradient
                 self._stamp_forward(len(x))
-                logits = self.model.forward(x)
-                grad_logits = softmax(logits)
-                grad_logits[np.arange(len(x)), np.asarray(y, dtype=np.int64)] -= 1.0
-                return self.model.backward(grad_logits)
+                with TRACER.span("model.loss_gradient", cat="model", batch=len(x)):
+                    logits = self.model.forward(x)
+                    grad_logits = softmax(logits)
+                    grad_logits[np.arange(len(x)), np.asarray(y, dtype=np.int64)] -= 1.0
+                    return self.model.backward(grad_logits)
         finally:
             self.model.set_training(was_training)
 
@@ -197,15 +200,19 @@ class Classifier:
         try:
             with no_param_grads():
                 self._stamp_forward(len(x))
-                self.model.forward(x)
-                gradients = []
-                for cotangent in cotangents:
-                    self.gradient_count += len(x)
-                    QUERY_STATS.record_gradient(len(x))
-                    gradients.append(
-                        self.model.backward(np.asarray(cotangent, dtype=np.float32))
-                    )
-                return gradients
+                with TRACER.span(
+                    "model.gradient_sweep", cat="model", batch=len(x)
+                ) as span:
+                    self.model.forward(x)
+                    gradients = []
+                    for cotangent in cotangents:
+                        self.gradient_count += len(x)
+                        QUERY_STATS.record_gradient(len(x))
+                        gradients.append(
+                            self.model.backward(np.asarray(cotangent, dtype=np.float32))
+                        )
+                    span["cotangents"] = len(gradients)
+                    return gradients
         finally:
             self.model.set_training(was_training)
 
@@ -361,7 +368,9 @@ class Attack(ABC):
         """Run the attack and evaluate its success against ``classifier`` itself."""
         x = np.asarray(x, dtype=np.float32)
         y = np.asarray(y, dtype=np.int64)
-        with QUERY_STATS.attack_scope():
+        with QUERY_STATS.attack_scope(), TRACER.span(
+            "attack.generate", cat="attack", attack=self.name, n=len(x)
+        ):
             adversarial = classifier.clip(self.perturb(classifier, x, y))
             predictions = classifier.predict(adversarial)
         return AttackResult(

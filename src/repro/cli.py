@@ -25,6 +25,11 @@ Commands
 ``cache stats [--json]`` / ``cache gc [--budget SIZE]``
     Inspect and garbage-collect the content-addressed artifact store behind
     the cell cache (see :mod:`repro.store`).
+``trace <trace.ndjson | result.json> [--chrome OUT]``
+    Summarise a traced run (``REPRO_TRACE=1 ... run``) as a per-span table
+    and per-cell timeline, or export Chrome trace-event JSON for
+    https://ui.perfetto.dev.  Also accepts an untraced ``results/*.json``
+    (a synthetic timeline is rebuilt from its telemetry).
 """
 
 from __future__ import annotations
@@ -163,6 +168,26 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument(
         "--cache-dir", default=None, help="store location (default: zoo cache)"
     )
+
+    trace = sub.add_parser(
+        "trace", help="summarise a run trace / export Chrome trace-event JSON"
+    )
+    trace.add_argument(
+        "path",
+        help="a merged *.trace.ndjson (from REPRO_TRACE=1 run) or a "
+        "results/<name>.json",
+    )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="OUT",
+        help="write Chrome trace-event JSON here (open at ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-span aggregate as JSON instead of the text report",
+    )
     return parser
 
 
@@ -217,6 +242,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     runner.run_many(names, on_result=show)
     telemetry = runner.telemetry
+    if telemetry.trace is not None:
+        print(
+            f"# trace: {telemetry.trace['spans']} spans from "
+            f"{len(telemetry.trace['pids'])} process(es) -> {telemetry.trace['path']} "
+            f"(inspect with `python -m repro trace {telemetry.trace['path']}`)"
+        )
     print(
         f"\n# run summary: {telemetry.cells_total} cells "
         f"({telemetry.cache_hits} cached, {telemetry.cache_misses} computed, "
@@ -293,6 +324,45 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.timeline import _aggregate, chrome_trace, load_spans, summarize
+
+    path = Path(args.path)
+    try:
+        spans, source = load_spans(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {path} is not a trace or result file: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome:
+        out = Path(args.chrome)
+        out.write_text(json.dumps(chrome_trace(spans), indent=2) + "\n")
+        print(f"# wrote {out} ({len(spans)} events; open at https://ui.perfetto.dev)")
+    if args.json:
+        pids = sorted({int(s.get("pid", 0)) for s in spans})
+        print(
+            json.dumps(
+                {
+                    "source": source,
+                    "spans": len(spans),
+                    "pids": pids,
+                    "by_span": [
+                        {"cat": cat, "name": name, "count": count, "total_ms": round(ms, 3)}
+                        for cat, name, count, ms in _aggregate(spans)
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(summarize(spans, source))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -306,6 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except RegistryError as exc:
         # unknown experiment/component: a clean one-line error, not a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -1,12 +1,15 @@
 """Shared machinery for process-level observability counters.
 
-The GEMM kernel engine (:data:`repro.arith.kernels.KERNEL_STATS`) and the
-attack query tracker (:data:`repro.attacks.base.QUERY_STATS`) expose the same
-counter contract: a fixed field tuple, monotonic within a process, consumed
-via snapshot/delta pairs by the run telemetry.  Counters are advisory only --
-pool workers keep their own instances (only the planning process's activity
-shows up in a parallel run's telemetry) and every determinism guarantee
-excludes them.
+The GEMM kernel engine (:data:`repro.arith.kernels.KERNEL_STATS`), the
+attack query tracker (:data:`repro.attacks.base.QUERY_STATS`) and the
+artifact store (:data:`repro.store.STORE_STATS`) expose the same counter
+contract: a fixed field tuple, monotonic within a process, consumed via
+snapshot/delta pairs by the run telemetry.  Pool workers keep their own
+instances, but each worker shard returns its deltas to the parent, which
+folds them into :class:`~repro.parallel.telemetry.RunTelemetry` -- so a
+parallel run's telemetry reflects the whole run, not just the planning
+process.  Counters are advisory only; every determinism guarantee excludes
+them.
 """
 
 from __future__ import annotations

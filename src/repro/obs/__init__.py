@@ -1,0 +1,14 @@
+"""repro.obs -- stdlib-only observability: tracing, metrics, timelines.
+
+* :data:`TRACER` / :class:`Tracer` (:mod:`repro.obs.trace`): cross-process
+  spans behind ``REPRO_TRACE``, spooled per process and merged per run;
+* :class:`Histogram` / :class:`MetricsRenderer` (:mod:`repro.obs.metrics`):
+  Prometheus text exposition for the service's ``/metrics``;
+* :mod:`repro.obs.timeline`: the ``python -m repro trace`` renderer and
+  Chrome trace-event (Perfetto) export.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRenderer
+from repro.obs.trace import TRACER, RunScope, Tracer
+
+__all__ = ["TRACER", "Tracer", "RunScope", "Histogram", "MetricsRenderer"]

@@ -1,0 +1,124 @@
+"""Prometheus text-exposition rendering for the service's ``/metrics``.
+
+Stdlib-only: just enough of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ for the
+service to be scraped -- ``# HELP`` / ``# TYPE`` comments, counters, gauges
+and cumulative histograms.  Metric *sources* stay where the data lives (the
+job queue, the artifact store, the process counters); this module only
+formats.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: request-latency bucket bounds (seconds); chosen for a service whose fast
+#: path is sub-millisecond (catalog/health) and whose slow path is a poll
+#: against a running job, never the job itself (jobs run on worker threads)
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Optional[Dict[str, Any]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+class MetricsRenderer:
+    """Accumulates metric families and renders the exposition text."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+
+    def _header(self, name: str, kind: str, help_text: str) -> None:
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        value: Any = None,
+        samples: Optional[Iterable[Tuple[Optional[Dict[str, Any]], Any]]] = None,
+    ) -> None:
+        self._header(name, "counter", help_text)
+        if samples is None:
+            samples = [(None, value)]
+        for labels, sample in samples:
+            self._lines.append(f"{name}{_labels(labels)} {_format_value(sample)}")
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        value: Any = None,
+        samples: Optional[Iterable[Tuple[Optional[Dict[str, Any]], Any]]] = None,
+    ) -> None:
+        self._header(name, "gauge", help_text)
+        if samples is None:
+            samples = [(None, value)]
+        for labels, sample in samples:
+            self._lines.append(f"{name}{_labels(labels)} {_format_value(sample)}")
+
+    def histogram(self, name: str, help_text: str, hist: Histogram) -> None:
+        self._header(name, "histogram", help_text)
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            self._lines.append(
+                f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        self._lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        self._lines.append(f"{name}_sum {_format_value(hist.total)}")
+        self._lines.append(f"{name}_count {hist.count}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,145 @@
+"""Trace rendering behind ``python -m repro trace``.
+
+Accepts either artifact of a traced run:
+
+* a merged ``*.trace.ndjson`` span file (what :meth:`Tracer.end_run` writes,
+  one span per line) -- summarised per category/name and per process, with a
+  per-cell timeline built from the ``cell`` / ``shard`` spans;
+* a ``results/<name>.json`` experiment result -- no spans needed: a
+  synthetic sequential timeline is reconstructed from the telemetry's
+  per-cell events, so even an untraced run can be inspected after the fact.
+
+Either form exports Chrome trace-event JSON (``--chrome out.json``): open it
+at https://ui.perfetto.dev (or ``chrome://tracing``) for the interactive
+flame view.  Timestamps are rebased so the trace starts at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+
+def load_spans(path: Path) -> Tuple[List[Dict[str, Any]], str]:
+    """Spans from either input form; returns ``(spans, source_kind)``.
+
+    ``source_kind`` is ``"trace"`` for real NDJSON spans and ``"result"``
+    for a synthetic timeline reconstructed from a result's telemetry.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        return _spans_from_result(json.loads(text)), "result"
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "name" in record:
+            spans.append(record)
+    return spans, "trace"
+
+
+def _spans_from_result(result: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """A sequential per-cell timeline from a result JSON's telemetry."""
+    telemetry = result.get("telemetry", {}) or {}
+    cells = telemetry.get("cells", []) or []
+    spans: List[Dict[str, Any]] = []
+    cursor = 0.0
+    for cell in cells:
+        dur_us = max(float(cell.get("seconds", 0.0)), 0.0) * 1e6
+        spans.append(
+            {
+                "name": "cell",
+                "cat": "runner",
+                "pid": 0,
+                "tid": 0,
+                "ts": cursor,
+                "dur": dur_us,
+                "args": {
+                    "kind": cell.get("kind"),
+                    "digest": cell.get("digest"),
+                    "status": cell.get("status"),
+                    "shards": cell.get("shards"),
+                    "experiment": cell.get("experiment"),
+                },
+            }
+        )
+        cursor += dur_us
+    return spans
+
+
+def chrome_trace(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The spans as Chrome trace-event JSON (complete ``"X"`` events)."""
+    base = min((float(s.get("ts", 0.0)) for s in spans), default=0.0)
+    events = []
+    for span in spans:
+        events.append(
+            {
+                "name": str(span.get("name", "span")),
+                "cat": str(span.get("cat", "repro")),
+                "ph": "X",
+                "ts": round(float(span.get("ts", 0.0)) - base, 1),
+                "dur": round(float(span.get("dur", 0.0)), 1),
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("tid", 0)),
+                "args": span.get("args", {}) or {},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _aggregate(spans: List[Dict[str, Any]]) -> List[Tuple[str, str, int, float]]:
+    """Per ``(cat, name)``: span count and total self-reported duration (ms)."""
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for span in spans:
+        key = (str(span.get("cat", "repro")), str(span.get("name", "span")))
+        entry = totals.setdefault(key, [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(span.get("dur", 0.0)) / 1000.0
+    rows = [(cat, name, int(n), ms) for (cat, name), (n, ms) in totals.items()]
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
+def summarize(spans: List[Dict[str, Any]], source: str) -> str:
+    """The human-readable report ``python -m repro trace`` prints."""
+    if not spans:
+        return "no spans (empty trace)"
+    pids = sorted({int(s.get("pid", 0)) for s in spans})
+    t0 = min(float(s.get("ts", 0.0)) for s in spans)
+    t1 = max(float(s.get("ts", 0.0)) + float(s.get("dur", 0.0)) for s in spans)
+    lines = [
+        f"{len(spans)} spans from {len(pids)} process(es), "
+        f"{(t1 - t0) / 1e6:.3f}s wall"
+        + (" (synthetic timeline from result telemetry)" if source == "result" else ""),
+        "",
+        f"  {'category':<10} {'span':<26} {'count':>7} {'total ms':>10}",
+    ]
+    for cat, name, count, ms in _aggregate(spans):
+        lines.append(f"  {cat:<10} {name:<26} {count:>7} {ms:>10.1f}")
+    cell_spans = [
+        s for s in spans if s.get("name") in ("cell", "shard") and s.get("args")
+    ]
+    if cell_spans:
+        lines += ["", "  cell timeline (offset from trace start):"]
+        for span in sorted(cell_spans, key=lambda s: float(s.get("ts", 0.0))):
+            args = span.get("args", {})
+            offset = (float(span.get("ts", 0.0)) - t0) / 1e6
+            dur = float(span.get("dur", 0.0)) / 1e6
+            detail = " ".join(
+                f"{key}={args[key]}"
+                for key in ("kind", "digest", "status", "shard", "experiment")
+                if args.get(key) not in (None, "")
+            )
+            lines.append(
+                f"  +{offset:8.3f}s {dur:8.3f}s pid {span.get('pid', 0):>7} "
+                f"{span.get('name'):<6} {detail}"
+            )
+    return "\n".join(lines)

@@ -34,11 +34,16 @@ custom components in an importable module, or run with ``jobs=1``.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.arith.kernels import KERNEL_STATS
+from repro.attacks.base import QUERY_STATS
+from repro.obs import TRACER
 from repro.parallel.plan import CellOutcome, CellTask
+from repro.parallel.telemetry import DIGEST_WIDTH
 from repro.pipeline.cells import get_cell_kind
 from repro.store import Lease
 
@@ -54,21 +59,55 @@ class CellExecutionError(RuntimeError):
 _WORKER_RUNNER = None
 
 
-def _worker_init(fast: bool, cache_dir: str, use_cache: bool, shard_size: int) -> None:
-    """Build the per-process runner; resolves registries exactly once."""
+def _worker_init(
+    fast: bool,
+    cache_dir: str,
+    use_cache: bool,
+    shard_size: int,
+    trace_dir: Optional[str] = None,
+) -> None:
+    """Build the per-process runner; resolves registries exactly once.
+
+    ``trace_dir`` (set when the parent run is traced) points the worker's
+    tracer at the run's spool directory, so worker spans land next to the
+    parent's and are merged at run end.
+    """
     global _WORKER_RUNNER
     import repro.pipeline  # populates kind/cell/zoo/attack registries
 
+    if trace_dir is not None:
+        TRACER.attach(trace_dir)
     _WORKER_RUNNER = repro.pipeline.Runner(
         fast=fast, cache_dir=cache_dir, use_cache=use_cache, jobs=1, shard_size=shard_size
     )
 
 
-def _run_shard(kind_name: str, payload: Dict[str, Any], shard_index: int) -> Tuple[Any, float]:
-    """Compute one shard in a worker; returns ``(shard_value, seconds)``."""
+def _run_shard(
+    kind_name: str, payload: Dict[str, Any], shard_index: int, digest: str = ""
+) -> Tuple[Any, float, Dict[str, Any]]:
+    """Compute one shard in a worker; returns ``(value, seconds, stats)``.
+
+    ``stats`` carries the worker's pid and the shard's kernel/query counter
+    deltas -- the parent folds them into :class:`RunTelemetry`, closing the
+    per-process counter gap of parallel runs.
+    """
+    kernel_mark = KERNEL_STATS.snapshot()
+    query_mark = QUERY_STATS.snapshot()
     start = perf_counter()
-    value = get_cell_kind(kind_name).compute_shard(_WORKER_RUNNER, payload, shard_index)
-    return value, perf_counter() - start
+    with TRACER.span(
+        "shard",
+        cat="engine",
+        kind=kind_name,
+        digest=digest[:DIGEST_WIDTH],
+        shard=shard_index,
+    ):
+        value = get_cell_kind(kind_name).compute_shard(_WORKER_RUNNER, payload, shard_index)
+    stats = {
+        "pid": os.getpid(),
+        "kernels": KERNEL_STATS.delta(kernel_mark),
+        "queries": QUERY_STATS.delta(query_mark),
+    }
+    return value, perf_counter() - start, stats
 
 
 # ----------------------------------------------------------- parent side
@@ -145,34 +184,50 @@ class ParallelEngine:
             max_workers=workers,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(runner.fast, str(runner.cache_dir), runner.use_cache, runner.shard_size),
+            initargs=(
+                runner.fast,
+                str(runner.cache_dir),
+                runner.use_cache,
+                runner.shard_size,
+                TRACER.worker_spool_dir(),
+            ),
         )
         try:
             futures: Dict[Future, Tuple[CellTask, int]] = {}
             for task in tasks:  # already cost-ordered by ExecutionPlan.scheduled
                 for index in range(task.n_shards):
-                    futures[pool.submit(_run_shard, task.kind, task.payload, index)] = (task, index)
+                    futures[
+                        pool.submit(_run_shard, task.kind, task.payload, index, task.digest)
+                    ] = (task, index)
             not_done = set(futures)
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for future in done:
                     task, index = futures[future]
                     try:
-                        value, seconds = future.result()
+                        value, seconds, stats = future.result()
                     except Exception as exc:
                         raise CellExecutionError(
                             f"{task.kind} cell {task.digest[:10]} shard {index} "
                             f"(owner {task.owner}) failed: {exc}"
                         ) from exc
+                    runner.telemetry.fold_worker(stats)
                     digest = task.digest
                     shard_values[digest][index] = value
                     shard_seconds[digest] += seconds
                     shard_left[digest] -= 1
                     if shard_left[digest] == 0:
-                        merged = runner.merge_cell(
-                            task.kind, task.payload, shard_values.pop(digest)
-                        )
-                        runner.write_cell(task.kind, digest, merged)
+                        with TRACER.span(
+                            "cell.merge",
+                            cat="engine",
+                            kind=task.kind,
+                            digest=digest[:DIGEST_WIDTH],
+                            shards=task.n_shards,
+                        ):
+                            merged = runner.merge_cell(
+                                task.kind, task.payload, shard_values.pop(digest)
+                            )
+                            runner.write_cell(task.kind, digest, merged)
                         lease = leases.pop(digest, None)
                         if lease is not None:
                             lease.release()

@@ -7,6 +7,14 @@ The CLI renders the stream as progress lines and prints the summary; every
 :class:`~repro.pipeline.runner.ExperimentResult` embeds a snapshot under its
 ``telemetry`` key.  All fields here are observability data -- determinism
 guarantees explicitly exclude them.
+
+Kernel and attack-query counters are process-level singletons
+(:data:`~repro.arith.kernels.KERNEL_STATS` /
+:data:`~repro.attacks.base.QUERY_STATS`): the planning process's activity is
+read as a snapshot/delta pair, and with ``jobs > 1`` every pool worker
+returns its own counter deltas alongside each shard value, folded in through
+:meth:`fold_worker` -- so :meth:`kernel_totals` / :meth:`query_totals` are
+truthful whole-run sums regardless of where the work ran.
 """
 
 from __future__ import annotations
@@ -16,6 +24,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.arith.kernels import KERNEL_STATS
 from repro.attacks.base import QUERY_STATS
+
+#: digest prefix length used everywhere telemetry abbreviates cell digests
+#: (progress lines, event dicts, span labels)
+DIGEST_WIDTH = 12
 
 
 @dataclass
@@ -32,7 +44,7 @@ class CellEvent:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
-            "digest": self.digest[:12],
+            "digest": self.digest[:DIGEST_WIDTH],
             "status": self.status,
             "seconds": round(self.seconds, 4),
             "shards": self.shards,
@@ -47,21 +59,41 @@ class RunTelemetry:
     jobs: int = 1
     cells_total: int = 0
     events: List[CellEvent] = field(default_factory=list)
-    #: GEMM kernel-engine counters at run start; :meth:`snapshot` reports the
-    #: delta, i.e. this run's kernel activity.  Counters are per-process:
-    #: with ``jobs > 1`` the pool workers' activity is not folded in (each
-    #: worker keeps its own), so parallel runs mostly show planning-side use.
+    #: GEMM kernel-engine counters at run start; :meth:`kernel_totals`
+    #: reports the delta plus every folded worker contribution
     kernel_mark: Dict[str, int] = field(default_factory=KERNEL_STATS.snapshot)
-    #: classifier call-batch-size counters at run start (same per-process
-    #: caveat).  The delta shows how well the batched attack engine amortised
-    #: model calls -- calls at batch 1 vs batched, mean query batch -- and
-    #: covers only calls issued during attack execution (evaluation traffic
-    #: such as victim-selection scans is excluded by the counter's scope).
+    #: classifier call-batch-size counters at run start.  The totals show how
+    #: well the batched attack engine amortised model calls -- calls at batch
+    #: 1 vs batched, mean query batch -- and cover only calls issued during
+    #: attack execution (evaluation traffic such as victim-selection scans is
+    #: excluded by the counter's scope).
     query_mark: Dict[str, int] = field(default_factory=QUERY_STATS.snapshot)
+    #: summed counter deltas returned by pool-worker shards
+    worker_kernels: Dict[str, int] = field(default_factory=dict)
+    worker_queries: Dict[str, int] = field(default_factory=dict)
+    #: pids of every worker that contributed a shard to this run
+    worker_pids: List[int] = field(default_factory=list)
+    #: merged-trace summary ({"path", "spans", "pids"}) when the run was
+    #: traced (``REPRO_TRACE``); ``None`` otherwise
+    trace: Optional[Dict[str, Any]] = None
 
     def record(self, event: CellEvent) -> CellEvent:
         self.events.append(event)
         return event
+
+    def fold_worker(self, stats: Optional[Dict[str, Any]]) -> None:
+        """Merge one worker shard's counter deltas into the run totals."""
+        if not stats:
+            return
+        pid = stats.get("pid")
+        if pid and pid not in self.worker_pids:
+            self.worker_pids.append(int(pid))
+        for bucket, totals in (
+            ("kernels", self.worker_kernels),
+            ("queries", self.worker_queries),
+        ):
+            for name, value in (stats.get(bucket) or {}).items():
+                totals[name] = totals.get(name, 0) + int(value)
 
     # ------------------------------------------------------------- counters
     @property
@@ -80,6 +112,20 @@ class RunTelemetry:
     def compute_seconds(self) -> float:
         return sum(e.seconds for e in self.events if e.status == "computed")
 
+    def kernel_totals(self) -> Dict[str, int]:
+        """This run's kernel-engine activity, local delta plus worker folds."""
+        totals = KERNEL_STATS.delta(self.kernel_mark)
+        for name, value in self.worker_kernels.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def query_totals(self) -> Dict[str, int]:
+        """This run's attack-scoped classifier calls, workers folded in."""
+        totals = QUERY_STATS.delta(self.query_mark)
+        for name, value in self.worker_queries.items():
+            totals[name] = totals.get(name, 0) + value
+        return totals
+
     def progress_line(self, event: Optional[CellEvent] = None) -> str:
         """Human-readable progress for one event against the run totals."""
         event = event or (self.events[-1] if self.events else None)
@@ -93,18 +139,18 @@ class RunTelemetry:
         )
         return (
             f"  cell {self.cells_done}/{total} {event.kind} "
-            f"{event.digest[:10]}: {detail}"
+            f"{event.digest[:DIGEST_WIDTH]}: {detail}"
         )
 
     def attack_queries(self) -> Dict[str, Any]:
-        """This run's classifier call batch-size histogram (process-local).
+        """This run's classifier call batch-size histogram (workers folded).
 
         ``query_calls_batch1`` / ``query_calls_batched`` split prediction
         calls into degenerate single-example calls and genuinely batched
         ones; ``mean_query_batch`` / ``mean_gradient_batch`` are the mean
         samples advanced per model call.
         """
-        delta = QUERY_STATS.delta(self.query_mark)
+        delta = self.query_totals()
         delta["query_calls_batched"] = delta["query_calls"] - delta["query_calls_batch1"]
         delta["gradient_calls_batched"] = (
             delta["gradient_calls"] - delta["gradient_calls_batch1"]
@@ -119,14 +165,18 @@ class RunTelemetry:
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able summary embedded in experiment results."""
-        return {
+        out = {
             "jobs": self.jobs,
             "cells_total": self.cells_total,
             "cells_done": self.cells_done,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "compute_seconds": round(self.compute_seconds, 4),
-            "kernels": KERNEL_STATS.delta(self.kernel_mark),
+            "kernels": self.kernel_totals(),
             "attack_queries": self.attack_queries(),
+            "worker_pids": sorted(self.worker_pids),
             "cells": [e.to_dict() for e in self.events],
         }
+        if self.trace is not None:
+            out["trace"] = dict(self.trace)
+        return out

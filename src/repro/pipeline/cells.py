@@ -41,6 +41,7 @@ from repro.core.metrics import l2_distance, mse, psnr
 from repro.nn.approx import ApproxConv2d, prime_gemm_kernels
 from repro.nn.layers import Conv2d
 from repro.nn.training import evaluate_accuracy
+from repro.obs import TRACER
 from repro.parallel.sharding import cell_seed
 from repro.parallel.sharding import n_shards as _shard_count
 from repro.parallel.sharding import shard_bounds
@@ -200,9 +201,15 @@ def _shard_samples(
     key = (payload.get("model"), payload["n_samples"], bool(runner.fast), selector_key)
     indices = _SELECTION_CACHE.get(key)
     if indices is None:
-        indices = _SELECTION_CACHE[key] = select_correctly_classified(
-            classifier, split.test.images, split.test.labels, payload["n_samples"]
-        )
+        with TRACER.span(
+            "attack.select_victims",
+            cat="attack",
+            model=payload.get("model"),
+            n_samples=payload["n_samples"],
+        ):
+            indices = _SELECTION_CACHE[key] = select_correctly_classified(
+                classifier, split.test.images, split.test.labels, payload["n_samples"]
+            )
     lo, hi = shard_bounds(len(indices), runner.shard_size, shard_index)
     picked = indices[lo:hi]
     return split.test.images[picked], split.test.labels[picked], lo

@@ -36,12 +36,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.arith.kernels import KERNEL_STATS
 from repro.attacks.base import Attack, Classifier
 from repro.attacks.registry import ATTACKS
 from repro.core.results import format_table
 from repro.experiments.zoo import CACHE_DIR, ZOO
 from repro.nn.models import VARIANTS
+from repro.obs import TRACER
 from repro.parallel.locks import atomic_write_text
 from repro.parallel.sharding import attack_shard_size, resolve_jobs
 from repro.parallel.telemetry import CellEvent, RunTelemetry
@@ -270,29 +270,49 @@ class Runner:
         self.telemetry = RunTelemetry(jobs=self.jobs)
         self.cache_hits = 0
         self.cache_misses = 0
-        plan = build_plan(self, specs)
-        self.telemetry.cells_total = len(plan.tasks)
-        for eplan in plan.experiments:
-            self._log(
-                f"[{eplan.spec.name}] kind={eplan.spec.kind} fast={self.fast} "
-                f"cells={len(eplan.requests)} jobs={self.jobs}"
-            )
-        outcomes = self._compute_cells(plan)
-        # cell compute is shared across the run's experiments, so kernel and
-        # query activity cannot be attributed per experiment: every result
-        # carries the same run-scoped counter delta, marked as such
-        kernel_delta = {"scope": "run", **KERNEL_STATS.delta(self.telemetry.kernel_mark)}
-        query_delta = {"scope": "run", **self.telemetry.attack_queries()}
-        results = []
-        for eplan in plan.experiments:
-            result = self._assemble(eplan, plan, outcomes)
-            result.telemetry["kernels"] = dict(kernel_delta)
-            result.telemetry["attack_queries"] = dict(query_delta)
-            if self.results_dir is not None:
-                result.write(self.results_dir)
-            if on_result is not None:
-                on_result(result)
-            results.append(result)
+        label = specs[0].name + (f"+{len(specs) - 1}" if len(specs) > 1 else "")
+        scope = TRACER.begin_run(label)
+        try:
+            with TRACER.span(
+                "run", cat="runner", experiments=[s.name for s in specs], jobs=self.jobs
+            ):
+                with TRACER.span("plan", cat="runner", experiments=len(specs)):
+                    plan = build_plan(self, specs)
+                self.telemetry.cells_total = len(plan.tasks)
+                for eplan in plan.experiments:
+                    self._log(
+                        f"[{eplan.spec.name}] kind={eplan.spec.kind} fast={self.fast} "
+                        f"cells={len(eplan.requests)} jobs={self.jobs}"
+                    )
+                outcomes = self._compute_cells(plan)
+                # cell compute is shared across the run's experiments, so
+                # kernel and query activity cannot be attributed per
+                # experiment: every result carries the same run-scoped counter
+                # totals (pool workers folded in), marked as such
+                kernel_delta = {"scope": "run", **self.telemetry.kernel_totals()}
+                query_delta = {"scope": "run", **self.telemetry.attack_queries()}
+                results = []
+                for eplan in plan.experiments:
+                    with TRACER.span("assemble", cat="runner", experiment=eplan.spec.name):
+                        result = self._assemble(eplan, plan, outcomes)
+                        result.telemetry["kernels"] = dict(kernel_delta)
+                        result.telemetry["attack_queries"] = dict(query_delta)
+                        if self.results_dir is not None:
+                            result.write(self.results_dir)
+                    if on_result is not None:
+                        on_result(result)
+                    results.append(result)
+        finally:
+            merged = None
+            if scope is not None and self.results_dir is not None:
+                merged = self.results_dir / f"{label}.trace.ndjson"
+            trace = TRACER.end_run(scope, merged)
+            if trace is not None:
+                self.telemetry.trace = trace
+                self._log(
+                    f"  trace: {trace['spans']} spans from "
+                    f"{len(trace['pids'])} process(es) -> {trace['path']}"
+                )
         return results
 
     # ------------------------------------------------------- plan execution
@@ -329,8 +349,19 @@ class Runner:
 
             outcomes = ParallelEngine(self).execute(tasks, on_cell=record)
         else:
+            from repro.parallel.telemetry import DIGEST_WIDTH
+
             for task in tasks:
-                outcome = self._execute_cell(task.kind, task.payload, task.digest)
+                with TRACER.span(
+                    "cell",
+                    cat="runner",
+                    kind=task.kind,
+                    digest=task.digest[:DIGEST_WIDTH],
+                    experiment=task.owner,
+                ) as span:
+                    outcome = self._execute_cell(task.kind, task.payload, task.digest)
+                    span["status"] = outcome.status
+                    span["shards"] = outcome.shards
                 outcomes[task.digest] = outcome
                 record(task, outcome)
         self.cache_hits += sum(1 for o in outcomes.values() if o.status == "hit")

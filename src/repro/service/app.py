@@ -5,6 +5,9 @@ models stay memoised in-process; the artifact store keeps every computed
 cell) and exposes the experiment pipeline over plain HTTP:
 
 * ``GET  /health`` / ``GET /store/stats`` -- liveness and store telemetry
+* ``GET  /metrics`` -- Prometheus text exposition (queue/job/cell counters,
+  store occupancy + lease/eviction counters, kernel + attack-query process
+  counters, request-latency histogram)
 * ``GET  /experiments`` / ``GET /experiments/{name}`` -- the catalog, as the
   machine-readable specs ``POST /jobs`` accepts
 * ``POST /jobs`` -- submit a batch ``{"experiments": [...], "fast": true}``
@@ -27,14 +30,19 @@ import asyncio
 import json
 import re
 import sys
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.experiments.zoo import CACHE_DIR
+from repro.obs import Histogram, MetricsRenderer
 from repro.pipeline.runner import Runner, get_experiment, list_experiments
 from repro.service.http import HttpError, HttpServer, Request, Response
 from repro.service.jobs import JobQueue, SubmitError
 from repro.store import ArtifactStore, parse_size
+
+#: what a Prometheus scraper expects back from ``GET /metrics``
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -65,7 +73,22 @@ class Service:
         )
         self.queue = JobQueue(self._make_runner, workers=workers)
         self.http = HttpServer()
+        self._started_monotonic: Optional[float] = None
+        self._request_latency = Histogram()
+        self._requests: Dict[Tuple[str, int], int] = {}  # (method, status) -> count
+        self.http.on_request = self._observe_request
         self._register_routes()
+
+    def _observe_request(self, method: str, path: str, status: int, seconds: float) -> None:
+        """Per-request latency observer (labels stay low-cardinality: no paths)."""
+        key = (method, int(status))
+        self._requests[key] = self._requests.get(key, 0) + 1
+        self._request_latency.observe(seconds)
+
+    def uptime_seconds(self) -> Optional[float]:
+        if self._started_monotonic is None:
+            return None
+        return time.monotonic() - self._started_monotonic
 
     def _make_runner(self, fast: bool = False, jobs: Union[int, str, None] = None) -> Runner:
         return Runner(
@@ -84,12 +107,20 @@ class Service:
         def health(request: Request):
             import repro
 
+            uptime = self.uptime_seconds()
             return {
                 "status": "ok",
                 "service": "repro",
                 "version": repro.__version__,
+                "uptime_seconds": round(uptime, 3) if uptime is not None else 0.0,
                 "queue": self.queue.stats(),
             }
+
+        @route("GET", "/metrics")
+        def metrics(request: Request):
+            return Response(
+                text=self.render_metrics(), content_type=PROMETHEUS_CONTENT_TYPE
+            )
 
         @route("GET", "/experiments")
         def experiments(request: Request):
@@ -171,6 +202,127 @@ class Service:
             raise HttpError(404, f"no such job: {job_id}")
         return job
 
+    # -------------------------------------------------------------- metrics
+    def render_metrics(self) -> str:
+        """The service's state as Prometheus text exposition (``GET /metrics``).
+
+        Sources: the job queue (jobs by state, cell hit/computed counters),
+        the artifact store (occupancy plus the :data:`repro.store.STORE_STATS`
+        lease/eviction counters), the kernel-engine and attack-query process
+        counters, and the HTTP layer's request latency histogram.  Process
+        counters are since-process-start totals, which is exactly the
+        monotonic-counter contract Prometheus wants.
+        """
+        import repro
+        from repro.arith.kernels import KERNEL_STATS
+        from repro.attacks.base import QUERY_STATS
+        from repro.store import STORE_STATS
+
+        out = MetricsRenderer()
+        out.gauge(
+            "repro_service_info",
+            "Service identity (constant 1; version carried as a label).",
+            samples=[({"version": repro.__version__}, 1)],
+        )
+        uptime = self.uptime_seconds()
+        out.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the service started accepting connections.",
+            round(uptime, 3) if uptime is not None else 0.0,
+        )
+
+        qstats = self.queue.stats()
+        by_status = dict(qstats.get("by_status", {}))
+        out.gauge(
+            "repro_jobs",
+            "Jobs known to the queue, by lifecycle state.",
+            samples=[
+                ({"state": state}, by_status.get(state, 0))
+                for state in ("queued", "running", "done", "failed")
+            ],
+        )
+        out.gauge("repro_job_workers", "Concurrent runner threads.", qstats["workers"])
+        out.gauge(
+            "repro_inflight_cells",
+            "Cell digests currently owned by a running job.",
+            qstats["inflight_cells"],
+        )
+        out.counter(
+            "repro_cells_total",
+            "Pipeline cells resolved across all jobs, by outcome.",
+            samples=[
+                ({"outcome": "hit"}, self.queue.cells_hit),
+                ({"outcome": "computed"}, self.queue.cells_computed),
+            ],
+        )
+
+        store = self.store.stats()
+        out.gauge(
+            "repro_store_bytes", "Bytes of artifacts in the store.", store["bytes"]
+        )
+        out.gauge(
+            "repro_store_artifacts", "Artifact count in the store.", store["artifacts"]
+        )
+        if store.get("budget_bytes"):
+            out.gauge(
+                "repro_store_budget_bytes",
+                "Configured store eviction budget.",
+                store["budget_bytes"],
+            )
+        out.gauge(
+            "repro_store_active_leases",
+            "Store leases currently held by writers.",
+            store["active_leases"],
+        )
+        store_counters = STORE_STATS.snapshot()
+        out.counter(
+            "repro_store_events_total",
+            "Artifact-store lease and eviction events since process start.",
+            samples=[
+                ({"event": name}, value)
+                for name, value in sorted(store_counters.items())
+                if name != "lease_wait_us"
+            ],
+        )
+        out.counter(
+            "repro_store_lease_wait_seconds_total",
+            "Total seconds spent waiting on foreign store leases.",
+            store_counters.get("lease_wait_us", 0) / 1e6,
+        )
+
+        out.counter(
+            "repro_kernel_events_total",
+            "Kernel-engine counters since process start (service process only; "
+            "per-run worker activity is folded into each result's telemetry).",
+            samples=[
+                ({"event": name}, value)
+                for name, value in sorted(KERNEL_STATS.snapshot().items())
+            ],
+        )
+        out.counter(
+            "repro_attack_query_events_total",
+            "Attack query counters since process start (service process only).",
+            samples=[
+                ({"event": name}, value)
+                for name, value in sorted(QUERY_STATS.snapshot().items())
+            ],
+        )
+
+        out.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method and status.",
+            samples=[
+                ({"method": method, "status": status}, count)
+                for (method, status), count in sorted(self._requests.items())
+            ],
+        )
+        out.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency (request parsed to response flushed).",
+            self._request_latency,
+        )
+        return out.render()
+
     # ------------------------------------------------------------- lifecycle
     async def start(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
         """Start workers + listener; returns the ``asyncio`` server object.
@@ -179,6 +331,7 @@ class Service:
         ``server.sockets[0].getsockname()`` (the tests do).
         """
         self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._started_monotonic = time.monotonic()
         self.queue.start()
         return await self.http.start(host, port)
 

@@ -18,6 +18,7 @@ import asyncio
 import inspect
 import json
 import sys
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
@@ -127,6 +128,10 @@ class HttpServer:
     def __init__(self, name: str = "repro.service"):
         self.name = name
         self._routes: List[_Route] = []
+        #: optional observer called with ``(method, path, status, seconds)``
+        #: after every served request -- the service's latency histogram.
+        #: Must never raise (it runs on the connection handler).
+        self.on_request: Optional[Callable[[str, str, int, float], None]] = None
 
     def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
         """Register ``handler(request, **params)`` for ``method pattern``.
@@ -206,6 +211,9 @@ class HttpServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         stream: Optional[AsyncIterator[str]] = None
+        request: Optional[Request] = None
+        status = 0
+        start = time.perf_counter()
         try:
             try:
                 request = await self._read_request(reader)
@@ -224,15 +232,21 @@ class HttpServer:
                 result = Response(500, {"error": f"{type(exc).__name__}: {exc}"})
             if hasattr(result, "__aiter__"):
                 stream = result
+                status = 200
                 await self._stream_ndjson(writer, stream)
             else:
                 if not isinstance(result, Response):
                     result = Response(payload=result)
+                status = result.status
                 writer.write(result.encode())
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to salvage
         finally:
+            if self.on_request is not None and request is not None:
+                self.on_request(
+                    request.method, request.path, status, time.perf_counter() - start
+                )
             if stream is not None and hasattr(stream, "aclose"):
                 await stream.aclose()
             try:

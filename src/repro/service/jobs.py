@@ -114,6 +114,9 @@ class JobQueue:
         self._inflight: Dict[str, str] = {}  # cell digest -> running job id
         self._tasks: List[asyncio.Task] = []
         self._counter = 0
+        #: lifetime cell outcomes across every job (the /metrics counters)
+        self.cells_hit = 0
+        self.cells_computed = 0
 
     # ---------------------------------------------------------------- control
     def start(self) -> None:
@@ -245,11 +248,24 @@ class JobQueue:
                         del self._inflight[digest]
                 self._queue.task_done()
 
+    def _record_cell(self, job: Job, event: Dict[str, Any]) -> None:
+        """Count one cell outcome and forward it to the job's event stream.
+
+        Runs on the event loop (hopped via ``call_soon_threadsafe``), so the
+        queue-level counters need no locking.
+        """
+        status = event.get("status")
+        if status == "hit":
+            self.cells_hit += 1
+        elif status == "computed":
+            self.cells_computed += 1
+        job.post("cell", **event)
+
     def _execute(self, loop: asyncio.AbstractEventLoop, job: Job) -> None:
         """Run one job's experiments (worker thread; events hop to the loop)."""
         runner = self.runner_factory(fast=job.fast, jobs=job.jobs)
         runner.on_cell = lambda event: loop.call_soon_threadsafe(
-            functools.partial(job.post, "cell", **event.to_dict())
+            functools.partial(self._record_cell, job, event.to_dict())
         )
 
         def on_result(result) -> None:
@@ -274,6 +290,13 @@ class JobQueue:
             "compute_seconds": round(telemetry.compute_seconds, 4),
             "attack_queries": telemetry.attack_queries(),
         }
+        if telemetry.trace is not None:
+            # with REPRO_TRACE on, the run's merged span file is part of the
+            # job record -- clients learn where the timeline landed
+            job.summary["trace"] = dict(telemetry.trace)
+            loop.call_soon_threadsafe(
+                functools.partial(job.post, "trace", **telemetry.trace)
+            )
 
     # -------------------------------------------------------------- streaming
     async def stream(self, job: Job, from_seq: int = 0) -> AsyncIterator[Dict[str, Any]]:
@@ -299,4 +322,6 @@ class JobQueue:
             "queued": self._queue.qsize(),
             "inflight_cells": len(self._inflight),
             "workers": self.workers,
+            "cells_hit": self.cells_hit,
+            "cells_computed": self.cells_computed,
         }

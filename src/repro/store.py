@@ -38,7 +38,34 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
+from repro.counters import ProcessCounters
+from repro.obs import TRACER
 from repro.parallel.locks import FileLock, atomic_write_json
+
+
+class StoreStats(ProcessCounters):
+    """Process-level artifact-store counters (lease traffic, eviction).
+
+    Same snapshot/delta contract as the kernel and query counters; the
+    service's ``/metrics`` endpoint exposes the running totals.  Wait time
+    is tracked in microseconds (integer fields only) -- divide
+    ``lease_wait_us`` by 1e6 for seconds.
+    """
+
+    _FIELDS = (
+        "lease_acquires",
+        "lease_busy",
+        "stale_takeovers",
+        "lease_waits",
+        "lease_wait_us",
+        "evictions",
+        "evicted_bytes",
+        "gc_runs",
+    )
+
+
+#: process-wide store counters (consumers snapshot/delta like KERNEL_STATS)
+STORE_STATS = StoreStats()
 
 #: default writer-lease lifetime (seconds); ``REPRO_STORE_LEASE_TTL``
 #: overrides it.  Same-host crashes are reclaimed immediately via a pid
@@ -214,13 +241,24 @@ class ArtifactStore:
         """
         ttl = self.lease_ttl if ttl is None else max(0.001, float(ttl))
         lease_path = self._lease_path(namespace, digest)
-        with self._meta_lock(namespace, digest):
-            holder = self._read_claim(lease_path)
-            if holder is not None and not self._stale(holder):
-                return None
-            self._token_counter += 1
-            token = f"{os.getpid()}.{id(self)}.{self._token_counter}"
-            self._write_claim(lease_path, token, ttl)
+        with TRACER.span(
+            "store.lease_acquire", cat="store", namespace=namespace, digest=digest[:12]
+        ) as span:
+            with self._meta_lock(namespace, digest):
+                holder = self._read_claim(lease_path)
+                if holder is not None and not self._stale(holder):
+                    STORE_STATS.lease_busy += 1
+                    span["outcome"] = "busy"
+                    return None
+                if holder is not None:
+                    STORE_STATS.stale_takeovers += 1
+                    span["outcome"] = "stale_takeover"
+                else:
+                    span["outcome"] = "acquired"
+                STORE_STATS.lease_acquires += 1
+                self._token_counter += 1
+                token = f"{os.getpid()}.{id(self)}.{self._token_counter}"
+                self._write_claim(lease_path, token, ttl)
         return Lease(store=self, namespace=namespace, digest=digest, token=token, ttl=ttl)
 
     def lease_holder(self, namespace: str, digest: str) -> Optional[Dict[str, Any]]:
@@ -242,18 +280,29 @@ class ArtifactStore:
         caller computes the artifact itself under the returned lease.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            value = self.get(namespace, digest)
-            if value is not None:
-                return value, None
-            lease = self.try_lease(namespace, digest)
-            if lease is not None:
-                return None, lease
-            if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"artifact {namespace}/{digest[:12]} still leased after {timeout}s"
-                )
-            time.sleep(poll)
+        start = time.monotonic()
+        with TRACER.span(
+            "store.lease_wait", cat="store", namespace=namespace, digest=digest[:12]
+        ) as span:
+            STORE_STATS.lease_waits += 1
+            try:
+                while True:
+                    value = self.get(namespace, digest)
+                    if value is not None:
+                        span["outcome"] = "published"
+                        return value, None
+                    lease = self.try_lease(namespace, digest)
+                    if lease is not None:
+                        span["outcome"] = "takeover"
+                        return None, lease
+                    if deadline is not None and time.monotonic() >= deadline:
+                        span["outcome"] = "timeout"
+                        raise TimeoutError(
+                            f"artifact {namespace}/{digest[:12]} still leased after {timeout}s"
+                        )
+                    time.sleep(poll)
+            finally:
+                STORE_STATS.lease_wait_us += int((time.monotonic() - start) * 1e6)
 
     def _stale(self, claim: Dict[str, Any]) -> bool:
         if float(claim.get("expires_unix", 0)) <= time.time():
@@ -363,6 +412,7 @@ class ArtifactStore:
             "bytes": total_bytes,
             "active_leases": len(self._active_leases()),
             "namespaces": namespaces,
+            "counters": STORE_STATS.snapshot(),
         }
 
     def gc(self, budget: Union[str, int, None] = None) -> Dict[str, Any]:
@@ -373,32 +423,38 @@ class ArtifactStore:
         no budget configured this is a no-op scan.
         """
         budget = self.budget if budget is None else parse_size(budget)
-        entries = sorted(self._artifacts(), key=lambda e: (e[3].st_mtime, e[2]))
-        total = sum(stat.st_size for _, _, _, stat in entries)
-        report = {
-            "budget_bytes": budget,
-            "bytes_before": total,
-            "scanned": len(entries),
-            "evicted": 0,
-            "evicted_bytes": 0,
-            "skipped_leased": 0,
-        }
-        if budget is None:
+        with TRACER.span("store.gc", cat="store", budget=budget) as span:
+            STORE_STATS.gc_runs += 1
+            entries = sorted(self._artifacts(), key=lambda e: (e[3].st_mtime, e[2]))
+            total = sum(stat.st_size for _, _, _, stat in entries)
+            report = {
+                "budget_bytes": budget,
+                "bytes_before": total,
+                "scanned": len(entries),
+                "evicted": 0,
+                "evicted_bytes": 0,
+                "skipped_leased": 0,
+            }
+            if budget is None:
+                report["bytes_after"] = total
+                return report
+            leased = self._active_leases()
+            for namespace, digest, path, stat in entries:
+                if total <= budget:
+                    break
+                if (self._safe(namespace), digest) in leased:
+                    report["skipped_leased"] += 1
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= stat.st_size
+                report["evicted"] += 1
+                report["evicted_bytes"] += stat.st_size
             report["bytes_after"] = total
-            return report
-        leased = self._active_leases()
-        for namespace, digest, path, stat in entries:
-            if total <= budget:
-                break
-            if (self._safe(namespace), digest) in leased:
-                report["skipped_leased"] += 1
-                continue
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= stat.st_size
-            report["evicted"] += 1
-            report["evicted_bytes"] += stat.st_size
-        report["bytes_after"] = total
+            STORE_STATS.evictions += report["evicted"]
+            STORE_STATS.evicted_bytes += report["evicted_bytes"]
+            span["evicted"] = report["evicted"]
+            span["evicted_bytes"] = report["evicted_bytes"]
         return report

@@ -10,6 +10,7 @@ computed exactly once and the results byte-identical to a serial run.
 
 import asyncio
 import json
+import re
 import threading
 import time
 import urllib.error
@@ -270,3 +271,70 @@ def test_failed_job_reports_error(service, tiny_model, digit_split):
         assert events[-1]["status"] == "failed"  # failure reached the stream
     finally:
         ZOO.unregister(name)
+
+
+# -------------------------------------------------------------- observability
+METRIC_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?[0-9.e+-]+)$'
+)
+
+
+def scrape_metrics(service):
+    """GET /metrics raw; returns (content_type, {sample_name: value})."""
+    with urllib.request.urlopen(service.base + "/metrics", timeout=60) as response:
+        content_type = response.headers["Content-Type"]
+        text = response.read().decode("utf-8")
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert METRIC_LINE.match(line), f"unparseable exposition line: {line!r}"
+        name, _, value = line.partition(" ")
+        samples[name] = float(value)
+    return content_type, samples
+
+
+def test_health_reports_uptime_and_version(service):
+    first = service.get("/health")
+    assert first["version"] and first["uptime_seconds"] >= 0
+    time.sleep(0.05)
+    second = service.get("/health")
+    assert second["uptime_seconds"] > first["uptime_seconds"]
+
+
+def test_metrics_prometheus_exposition(service):
+    service.get("/health")  # guarantee at least one observed GET 200
+    content_type, samples = scrape_metrics(service)
+    assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+    version = service.get("/health")["version"]
+    assert samples[f'repro_service_info{{version="{version}"}}'] == 1
+    assert samples["repro_service_uptime_seconds"] > 0
+    assert samples['repro_jobs{state="done"}'] == 0
+    assert samples['repro_cells_total{outcome="computed"}'] == 0
+    assert samples['repro_http_requests_total{method="GET",status="200"}'] >= 1
+    # histogram invariants: buckets are cumulative, +Inf equals the count
+    assert samples["repro_http_request_seconds_count"] >= 1
+    assert (
+        samples['repro_http_request_seconds_bucket{le="+Inf"}']
+        == samples["repro_http_request_seconds_count"]
+    )
+
+
+def test_metrics_counters_move_with_a_job(service):
+    _job, _events, final = service.run_job(
+        {"experiments": ["fig13_bfloat16_noise"], "fast": True}
+    )
+    assert final["status"] == "done"
+    _content_type, samples = scrape_metrics(service)
+    assert samples['repro_jobs{state="done"}'] == 1
+    assert samples['repro_cells_total{outcome="computed"}'] > 0
+    assert samples["repro_store_bytes"] > 0
+    assert samples['repro_http_requests_total{method="POST",status="202"}'] == 1
+    # resubmitting the same experiment is all cache hits -- the hit counter moves
+    _job2, _events2, final2 = service.run_job(
+        {"experiments": ["fig13_bfloat16_noise"], "fast": True}
+    )
+    assert final2["status"] == "done"
+    _content_type, samples = scrape_metrics(service)
+    assert samples['repro_cells_total{outcome="hit"}'] > 0
