@@ -22,6 +22,14 @@ gate level up:
   approximate layers' forward passes.
 """
 
+#: numerics version of the multiplier/adder substrate itself (gate-level
+#: behaviour, error-metric definitions).  Distinct from the GEMM *engine*
+#: version (:data:`repro.arith.kernels.KERNEL_NUMERICS_VERSION`): a faster
+#: engine with identical bit patterns bumps neither; a change to what a
+#: multiplier *returns* bumps this.  Cells declaring an ``"arith"``
+#: dependency re-key on it (see :mod:`repro.pipeline.fingerprints`).
+ARITH_NUMERICS_VERSION = 1
+
 from repro.arith.adders import (
     AMA1,
     AMA2,

@@ -65,6 +65,15 @@ from repro.arith.float_format import operand_code_side, operand_codes
 from repro.counters import ProcessCounters
 from repro.obs.trace import TRACER
 
+#: numerics version of the fused GEMM kernel engine.  Bump whenever the
+#: *bit patterns* this engine produces change (fold order, rounding window,
+#: table composition); cells whose payloads execute through approximate
+#: convolutions declare a ``"kernels"`` dependency and re-key on this value
+#: (see :mod:`repro.pipeline.fingerprints` and ``docs/caching.md``).
+#: Version 1: the fused engine as introduced in PR 3 -- strict left-fold
+#: accumulation, signed-significand product tables, baked weight tables.
+KERNEL_NUMERICS_VERSION = 1
+
 #: bias applied to exponent sums when indexing the power-of-two table; large
 #: enough that the sum of two biased float32 exponents (plus the inf/NaN
 #: sentinel 128) can never index below zero

@@ -20,6 +20,16 @@ the same code runs against exact, approximate (DA), quantised and bfloat16
 models.
 """
 
+#: numerics version of the attack suite: bump when attack semantics change
+#: (seeding scheme, rollout order, query accounting) so attack-evaluation
+#: cells re-key.  Version 1: per-shard SeedSequence-spawned attack seeds
+#: (the old ``CELL_CACHE_VERSION = 2``).  Version 2: the batched active-set
+#: engine -- per-example RNG streams keyed by global victim index, loss
+#: gradient without the ``/N * N`` roundtrip, per-example C&W constant
+#: escalation (the old ``CELL_CACHE_VERSION = 4``; the parity suite in
+#: ``tests/test_attack_parity.py`` pins these semantics).
+ATTACK_NUMERICS_VERSION = 2
+
 from repro.attacks.base import Attack, AttackResult, Classifier
 from repro.attacks.boundary import BoundaryAttack
 from repro.attacks.carlini_wagner import CarliniWagnerL2

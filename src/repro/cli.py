@@ -5,9 +5,12 @@ Commands
 
 ``list [--json]``
     Enumerate the experiment catalog (every paper table / figure).
-``info <experiment> [--json]``
-    Show one experiment's resolved declarative spec.  ``--json`` emits the
-    exact machine-readable form the service's ``POST /jobs`` accepts inline.
+``info <experiment> [--fast] [--json]``
+    Show one experiment's resolved declarative spec, followed by its planned
+    grid cells with their cache digests and hit/stale/cold status -- a
+    run-cost preview that resolves no models and computes nothing.
+    ``--json`` emits only the exact machine-readable spec the service's
+    ``POST /jobs`` accepts inline (round-trippable; no cell section).
 ``run <experiment> [...] [--fast] [--jobs N]``
     Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
     printing the paper-style table and writing ``results/<name>.txt`` and
@@ -22,9 +25,14 @@ Commands
 ``serve [--host H] [--port P] [--workers N] [--jobs N]``
     Start the long-lived robustness-evaluation service: an HTTP API with a
     job queue in front of the same runner (see :mod:`repro.service`).
-``cache stats [--json]`` / ``cache gc [--budget SIZE]``
+``cache stats [--json]`` / ``cache gc [--budget SIZE] [--stale]`` /
+``cache explain <digest>``
     Inspect and garbage-collect the content-addressed artifact store behind
-    the cell cache (see :mod:`repro.store`).
+    the cell cache (see :mod:`repro.store`).  ``stats`` includes a staleness
+    breakdown (fresh / stale / unknown against the live dependency
+    fingerprints), ``gc --stale`` reclaims cells superseded by code changes,
+    and ``explain`` shows which recorded dependency of one artifact moved
+    (see :mod:`repro.pipeline.fingerprints` and ``docs/caching.md``).
 ``trace <trace.ndjson | result.json> [--chrome OUT]``
     Summarise a traced run (``REPRO_TRACE=1 ... run``) as a per-span table
     and per-cell timeline, or export Chrome trace-event JSON for
@@ -70,13 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the catalog as a JSON array of {name, kind, title}",
     )
 
-    info = sub.add_parser("info", help="show one experiment's declarative spec")
+    info = sub.add_parser(
+        "info", help="show one experiment's spec and its cells' cache status"
+    )
     info.add_argument("experiment", help="catalog name (see `list`)")
+    info.add_argument(
+        "--fast",
+        action="store_true",
+        help="preview the --fast profile's cells instead of the full run's",
+    )
+    info.add_argument(
+        "--cache-dir", default=None, help="cell-cache location (default: zoo cache)"
+    )
     info.add_argument(
         "--json",
         action="store_true",
-        help="emit the round-trippable machine spec (what the service's "
-        "POST /jobs accepts as an inline experiment)",
+        help="emit only the round-trippable machine spec (what the service's "
+        "POST /jobs accepts as an inline experiment); no cell section",
     )
 
     run = sub.add_parser("run", help="execute experiments and write results/")
@@ -166,8 +184,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte budget like 512M or 2G (default: REPRO_STORE_BUDGET)",
     )
     gc.add_argument(
+        "--stale",
+        action="store_true",
+        help="also drop every artifact whose recorded dependency fingerprints "
+        "no longer match the live code (superseded cells)",
+    )
+    gc.add_argument(
         "--cache-dir", default=None, help="store location (default: zoo cache)"
     )
+    explain = cache_sub.add_parser(
+        "explain", help="show one cached cell's dependency fingerprints vs live code"
+    )
+    explain.add_argument(
+        "cell", help="an artifact digest, or a unique digest prefix (>= 6 chars)"
+    )
+    explain.add_argument(
+        "--cache-dir", default=None, help="store location (default: zoo cache)"
+    )
+    explain.add_argument("--json", action="store_true", help="emit raw JSON")
 
     trace = sub.add_parser(
         "trace", help="summarise a run trace / export Chrome trace-event JSON"
@@ -207,14 +241,34 @@ def _cmd_list(as_json: bool) -> int:
     return 0
 
 
-def _cmd_info(name: str, as_json: bool) -> int:
-    spec = get_experiment(name)
-    if as_json:
+def _cmd_info(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    if args.json:
         # the wire format: ExperimentSpec.from_dict round-trips this exactly,
         # so it can be edited and submitted to the service's POST /jobs
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=False))
         return 0
     print(json.dumps(spec.to_dict(), indent=2, default=str))
+    # the run-cost preview: plan the cell graph (no model resolution, no
+    # compute) and classify each cell against the artifact store
+    from repro.parallel.plan import build_plan, cache_outlook
+
+    runner = Runner(fast=args.fast, cache_dir=args.cache_dir)
+    plan = build_plan(runner, [spec])
+    if not plan.tasks:
+        print(f"\n# cells (fast={runner.fast}): none planned (legacy handler)")
+        return 0
+    outlook = cache_outlook(runner, plan)
+    display = {"warm": "hit", "stale": "stale", "cold": "cold"}
+    print(
+        f"\n# cells (fast={runner.fast}): {len(plan.tasks)} total -- "
+        f"{outlook['warm']} hit / {outlook['stale']} stale / {outlook['cold']} cold"
+    )
+    for cell in outlook["cells"]:
+        line = f"#   {display[cell['status']].ljust(5)} {cell['kind'].ljust(16)} {cell['digest']}"
+        if cell.get("superseded"):
+            line += f"  (supersedes {', '.join(d[:10] for d in cell['superseded'])})"
+        print(line)
     return 0
 
 
@@ -297,11 +351,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir if args.cache_dir is not None else CACHE_DIR / "pipeline"
     store = ArtifactStore(root)
     if args.cache_command == "stats":
+        from repro.pipeline.fingerprints import store_staleness
+
         stats = store.stats()
+        staleness = store_staleness(store)
+        stats["staleness"] = staleness["totals"]
         if args.json:
             print(json.dumps(stats, indent=2))
             return 0
         budget = stats["budget_bytes"]
+        fresh, stale, unknown = (
+            staleness["totals"]["fresh"],
+            staleness["totals"]["stale"],
+            staleness["totals"]["unknown"],
+        )
         print(f"store:    {stats['root']}")
         print(
             f"artifacts: {stats['artifacts']} "
@@ -309,19 +372,88 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             + (f" of {budget / 1e6:.2f} MB budget" if budget else ", no budget")
             + ")"
         )
+        print(
+            f"staleness: {fresh} fresh / {stale} stale / {unknown} unknown"
+            + (" (stale: reclaim with `cache gc --stale`)" if stale else "")
+        )
         print(f"leases:   {stats['active_leases']} active (TTL {stats['lease_ttl_seconds']:.0f}s)")
         for namespace, info in sorted(stats["namespaces"].items()):
+            by_ns = staleness["namespaces"].get(
+                namespace, {"fresh": 0, "stale": 0, "unknown": 0}
+            )
             print(
                 f"  {namespace.ljust(24)} {str(info['artifacts']).rjust(5)} artifacts  "
-                f"{info['bytes'] / 1e6:8.2f} MB"
+                f"{info['bytes'] / 1e6:8.2f} MB  "
+                f"({by_ns['fresh']} fresh / {by_ns['stale']} stale / "
+                f"{by_ns['unknown']} unknown)"
             )
         return 0
     if args.cache_command == "gc":
+        report: dict = {}
+        if args.stale:
+            from repro.pipeline.fingerprints import collect_stale
+
+            stale_cells = collect_stale(store)
+            removed = sum(
+                1 for namespace, digest in stale_cells if store.remove(namespace, digest)
+            )
+            report["stale_removed"] = removed
         budget = parse_size(args.budget) if args.budget is not None else None
-        report = store.gc(budget=budget)
+        report.update(store.gc(budget=budget))
         print(json.dumps(report, indent=2))
         return 0
+    if args.cache_command == "explain":
+        return _cmd_cache_explain(store, args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_cache_explain(store, args: argparse.Namespace) -> int:
+    """``cache explain <digest>``: which recorded dependency moved, if any."""
+    from repro.pipeline.fingerprints import diff_fingerprints, meta_status
+
+    prefix = args.cell.strip().lower()
+    if len(prefix) < 6:
+        print("error: give at least 6 digest characters", file=sys.stderr)
+        return 2
+    matches = [
+        (namespace, digest)
+        for namespace, digest, _path, _stat in store._artifacts()
+        if digest.startswith(prefix)
+    ]
+    if not matches:
+        print(f"error: no artifact matches {prefix!r} under {store.root}", file=sys.stderr)
+        return 2
+    reports = []
+    for namespace, digest in matches:
+        meta = store.get_meta(namespace, digest)
+        status = meta_status(meta)
+        entry = {"namespace": namespace, "digest": digest, "status": status}
+        if meta is not None:
+            entry["content_key"] = meta.get("content_key")
+            entry["fast"] = meta.get("fast")
+            if isinstance(meta.get("deps"), dict):
+                entry["deps"] = diff_fingerprints(meta["deps"])
+        reports.append(entry)
+    if args.json:
+        print(json.dumps(reports if len(reports) > 1 else reports[0], indent=2))
+        return 0
+    for entry in reports:
+        print(f"{entry['namespace']}/{entry['digest']}: {entry['status']}")
+        if entry["status"] == "unknown":
+            print(
+                "  no provenance sidecar (written before per-cell fingerprints, "
+                "or by a foreign tool); recompute to adopt one"
+            )
+            continue
+        print(f"  content_key: {entry['content_key']}  fast={entry['fast']}")
+        for key, diff in entry.get("deps", {}).items():
+            verdict = "MOVED" if diff["moved"] else "ok"
+            live = diff["live"] if diff["live"] is not None else "<gone>"
+            print(
+                f"  {key.ljust(22)} recorded {diff['recorded']}  "
+                f"live {live}  {verdict}"
+            )
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -369,7 +501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list(args.json)
         if args.command == "info":
-            return _cmd_info(args.experiment, args.json)
+            return _cmd_info(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "serve":

@@ -11,6 +11,11 @@
   the benchmarks and examples.
 """
 
+#: numerics version of the evaluation harnesses (victim selection, success
+#: accounting, distance metrics).  Bump when how cells *measure* changes
+#: without the underlying attacks or models changing.
+EVALUATION_NUMERICS_VERSION = 1
+
 from repro.core.confidence import ConfidenceComparison, classification_confidence, compare_confidence
 from repro.core.defense import DefensiveApproximation
 from repro.core.evaluation import (

@@ -15,6 +15,12 @@ statistics, not on the particular natural-image corpus, so these substitutes
 exercise the same code paths end to end (see DESIGN.md, "Substitutions").
 """
 
+#: numerics version of the procedural dataset generators.  Bump when the
+#: generated pixels change (glyph rendering, jitter distributions, split
+#: logic); cells that consume dataset samples declare a ``"datasets"``
+#: dependency and re-key on it.
+DATASET_NUMERICS_VERSION = 1
+
 from repro.datasets.digits import generate_digits, render_digit
 from repro.datasets.loader import Dataset, DataSplit, train_test_split
 from repro.datasets.objects import OBJECT_CLASS_NAMES, generate_objects, render_object

@@ -13,6 +13,17 @@ profile (``fast=True``) -- a smaller dataset and shorter training schedule,
 cached separately -- used by ``python -m repro run <experiment> --fast`` and
 the CI smoke test.
 
+Every entry declares its full **training recipe** as a plain dict -- the
+architecture, optimizer, schedule and dataset configuration its trainer
+actually reads -- registered as the entry's ``"recipe"`` metadata.  The
+recipe, together with the model/dataset numerics versions, digests into the
+entry's cache filename (:func:`zoo_cache_path`): change a recipe and only
+*that* entry's ``.npz`` files go stale and retrain, while every other model
+keeps its cache.  The same digest is the entry's ``zoo:<name>`` fingerprint
+surface (:mod:`repro.pipeline.fingerprints`), so grid cells that evaluated
+the old model re-key in the same stroke.  This replaced the global
+``ZOO_NUMERICS_VERSION`` filename tag -- see ``docs/caching.md``.
+
 All entries are registered in the unified ``"zoo"`` registry so the experiment
 pipeline can resolve them by name.
 """
@@ -21,7 +32,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
@@ -37,19 +48,8 @@ ZOO = registry("zoo")
 #: default location of the trained-parameter cache
 CACHE_DIR = Path(os.environ.get("REPRO_DA_CACHE", Path.home() / ".cache" / "repro-da"))
 
-#: version tag folded into every trained-parameter cache filename.  Bump it
-#: whenever the *training numerics* change (forward/backward bit patterns --
-#: e.g. the batch-invariant GEMM rework), so stale caches trained under old
-#: numerics retrain instead of silently feeding new-code experiments weights
-#: a fresh checkout could never reproduce.  The cell cache has
-#: ``CELL_CACHE_VERSION`` for the same reason; this is its zoo counterpart.
-#: Version 2: batch-invariant forward/backward numerics (PR 4).
-ZOO_NUMERICS_VERSION = 2
-
-
-def zoo_cache_path(cache_name: str) -> Path:
-    """Where ``cache_name``'s trained parameters live (numerics-versioned)."""
-    return CACHE_DIR / f"{cache_name}_v{ZOO_NUMERICS_VERSION}.npz"
+#: hex digits of the recipe digest folded into cache filenames
+_RECIPE_TAG_WIDTH = 10
 
 #: digit dataset configuration (MNIST substitute)
 DIGITS_CONFIG = {"n_samples": 6000, "size": 16, "seed": 1}
@@ -57,6 +57,137 @@ DIGITS_CONFIG_FAST = {"n_samples": 2000, "size": 16, "seed": 1}
 #: object dataset configuration (CIFAR-10 substitute)
 OBJECTS_CONFIG = {"n_samples": 3000, "size": 32, "seed": 2}
 OBJECTS_CONFIG_FAST = {"n_samples": 1200, "size": 32, "seed": 2}
+
+
+# ----------------------------------------------------------------- recipes
+# One dict per zoo entry, the single source of truth for its training
+# configuration: the builders and trainers below read these values, and the
+# recipe digests into the entry's cache filename and fingerprint surface.
+# Editing a number here therefore *is* the invalidation: the stale .npz is
+# simply never looked up again.
+
+LENET_DIGITS_RECIPE: Dict[str, Any] = {
+    "arch": {
+        "builder": "lenet5",
+        "conv_channels": [12, 24],
+        "fc_sizes": [96, 64],
+        "dropout": 0.25,
+        "seed": 0,
+    },
+    "optimizer": {"kind": "adam", "lr": 0.002},
+    "schedule": {
+        "epochs": 25,
+        "fine_tune_epochs": 10,
+        "fine_tune_lr": 0.0005,
+        "fast_epochs": 8,
+        "batch_size": 64,
+    },
+    "dataset": {
+        "name": "digits",
+        "config": DIGITS_CONFIG,
+        "fast_config": DIGITS_CONFIG_FAST,
+        "test_fraction": 0.15,
+    },
+}
+
+ALEXNET_OBJECTS_RECIPE: Dict[str, Any] = {
+    "arch": {"builder": "alexnet", "dropout": 0.25, "seed": 0},
+    "optimizer": {"kind": "sgd", "lr": 0.02, "momentum": 0.9, "weight_decay": 1e-4},
+    "schedule": {
+        "epochs": 20,
+        "fine_tune_epochs": 8,
+        "fine_tune_lr": 0.005,
+        "fast_epochs": 6,
+        "batch_size": 64,
+    },
+    "dataset": {
+        "name": "objects",
+        "config": OBJECTS_CONFIG,
+        "fast_config": OBJECTS_CONFIG_FAST,
+        "test_fraction": 0.2,
+    },
+}
+
+DQ_OBJECTS_RECIPE: Dict[str, Any] = {
+    "arch": {"builder": "dq_cnn", "bits": 4, "modes": ["full", "weight"], "seed": 3},
+    "optimizer": {"kind": "adam", "lr": 0.002},
+    "schedule": {"epochs": 18, "fast_epochs": 5, "batch_size": 64},
+    "dataset": {
+        "name": "objects",
+        "config": OBJECTS_CONFIG,
+        "fast_config": OBJECTS_CONFIG_FAST,
+        "test_fraction": 0.2,
+    },
+}
+
+SUBSTITUTE_DIGITS_RECIPE: Dict[str, Any] = {
+    "arch": {
+        "builder": "lenet5",
+        "conv_channels": [8, 16],
+        "fc_sizes": [64, 48],
+        "dropout": 0.2,
+        "seed": 11,
+    },
+    "queries": {"n_queries": 1000, "fast_n_queries": 400},
+    "schedule": {
+        "epochs": 20,
+        "fast_epochs": 6,
+        "augmentation_rounds": 1,
+        "fast_augmentation_rounds": 0,
+        "seed": 11,
+    },
+    # the substitute is distilled from a victim built on the LeNet entry, so
+    # its parameters go stale whenever that entry's recipe moves too
+    "depends_on": ["lenet_digits"],
+}
+
+
+def zoo_recipe(name: str) -> Dict[str, Any]:
+    """The declared training recipe of one zoo entry (registry metadata)."""
+    recipe = ZOO.get(name).metadata.get("recipe")
+    if not isinstance(recipe, dict):
+        raise KeyError(f"zoo entry {name!r} declares no training recipe")
+    return recipe
+
+
+def zoo_recipe_digest(name: str) -> str:
+    """Digest of everything that determines ``name``'s trained parameters.
+
+    Folds the entry's recipe, the model-numerics and dataset-numerics
+    versions, and -- transitively -- the digests of any entries the recipe
+    ``depends_on``.  This is both the cache filename tag and the entry's
+    ``zoo:<name>`` fingerprint surface, so parameter caches and dependent
+    grid cells go stale together, per entry, never globally.
+    """
+    import repro.datasets as datasets
+    import repro.nn as nn
+    from repro.pipeline.spec import canonical_digest  # lazy: avoids a cycle
+
+    try:
+        recipe = zoo_recipe(name)
+    except KeyError:
+        # a registered entry with no declared recipe (third-party or test
+        # registration): it still fingerprints -- on its name and the global
+        # numerics constants, the pre-recipe behaviour.  Truly unknown names
+        # keep raising (the registry lookup inside zoo_recipe).
+        ZOO.get(name)
+        recipe = {"undeclared": name}
+    return canonical_digest(
+        {
+            "recipe": recipe,
+            "model_numerics": nn.MODEL_NUMERICS_VERSION,
+            "dataset_numerics": datasets.DATASET_NUMERICS_VERSION,
+            "depends_on": {
+                dep: zoo_recipe_digest(dep) for dep in recipe.get("depends_on", [])
+            },
+        }
+    )
+
+
+def zoo_cache_path(cache_name: str, recipe_name: str) -> Path:
+    """Where ``cache_name``'s trained parameters live (recipe-digest-tagged)."""
+    tag = zoo_recipe_digest(recipe_name)[:_RECIPE_TAG_WIDTH]
+    return CACHE_DIR / f"{cache_name}_{tag}.npz"
 
 
 def load_digits_split(test_fraction: float = 0.15, fast: bool = False) -> DataSplit:
@@ -94,7 +225,9 @@ def _save_atomic(model: Sequential, cache_path: Path) -> None:
         model.save(str(tmp))
 
 
-def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -> Sequential:
+def _cached_model(
+    cache_name: str, recipe_name: str, builder: Callable[[], Sequential], trainer
+) -> Sequential:
     """Build a model and load cached parameters, or train and cache them.
 
     Training happens under an advisory file lock, so concurrent processes
@@ -103,7 +236,7 @@ def _cached_model(cache_name: str, builder: Callable[[], Sequential], trainer) -
     trains and saves, everyone else blocks and then loads the published file.
     """
     model = builder()
-    cache_path = zoo_cache_path(cache_name)
+    cache_path = zoo_cache_path(cache_name, recipe_name)
     if _try_load(model, cache_path):
         return model
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
@@ -119,85 +252,148 @@ def _suffix(fast: bool) -> str:
     return "_fast" if fast else ""
 
 
-@ZOO.register("lenet_digits", metadata={"summary": "exact LeNet-5 on the digit dataset"})
+@ZOO.register(
+    "lenet_digits",
+    metadata={
+        "summary": "exact LeNet-5 on the digit dataset",
+        "recipe": LENET_DIGITS_RECIPE,
+    },
+)
 def lenet_digits(fast: bool = False) -> Tuple[Sequential, DataSplit]:
     """Exact LeNet-5 trained on the synthetic digits (the paper's MNIST model)."""
-    split = load_digits_split(fast=fast)
+    recipe = LENET_DIGITS_RECIPE
+    arch, schedule = recipe["arch"], recipe["schedule"]
+    split = load_digits_split(recipe["dataset"]["test_fraction"], fast=fast)
 
     def build() -> Sequential:
         return build_lenet5(
             split.train.input_shape,
-            conv_channels=(12, 24),
-            fc_sizes=(96, 64),
-            dropout=0.25,
-            seed=0,
+            conv_channels=tuple(arch["conv_channels"]),
+            fc_sizes=tuple(arch["fc_sizes"]),
+            dropout=arch["dropout"],
+            seed=arch["seed"],
         )
 
     def train(model: Sequential) -> None:
-        optimizer = Adam(model.parameters(), lr=0.002)
-        epochs = 8 if fast else 25
+        optimizer = Adam(model.parameters(), lr=recipe["optimizer"]["lr"])
+        epochs = schedule["fast_epochs"] if fast else schedule["epochs"]
         train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
+            model,
+            optimizer,
+            split.train.images,
+            split.train.labels,
+            epochs=epochs,
+            batch_size=schedule["batch_size"],
         )
         if not fast:
-            optimizer.lr = 0.0005
+            optimizer.lr = schedule["fine_tune_lr"]
             train_classifier(
-                model, optimizer, split.train.images, split.train.labels, epochs=10, batch_size=64
+                model,
+                optimizer,
+                split.train.images,
+                split.train.labels,
+                epochs=schedule["fine_tune_epochs"],
+                batch_size=schedule["batch_size"],
             )
 
-    return _cached_model(f"lenet_digits{_suffix(fast)}", build, train), split
+    return _cached_model(f"lenet_digits{_suffix(fast)}", "lenet_digits", build, train), split
 
 
-@ZOO.register("alexnet_objects", metadata={"summary": "exact AlexNet on the object dataset"})
+@ZOO.register(
+    "alexnet_objects",
+    metadata={
+        "summary": "exact AlexNet on the object dataset",
+        "recipe": ALEXNET_OBJECTS_RECIPE,
+    },
+)
 def alexnet_objects(fast: bool = False) -> Tuple[Sequential, DataSplit]:
     """Exact AlexNet trained on the synthetic objects (the paper's CIFAR-10 model)."""
-    split = load_objects_split(fast=fast)
+    recipe = ALEXNET_OBJECTS_RECIPE
+    arch, optim, schedule = recipe["arch"], recipe["optimizer"], recipe["schedule"]
+    split = load_objects_split(recipe["dataset"]["test_fraction"], fast=fast)
 
     def build() -> Sequential:
-        return build_alexnet(split.train.input_shape, dropout=0.25, seed=0)
+        return build_alexnet(split.train.input_shape, dropout=arch["dropout"], seed=arch["seed"])
 
     def train(model: Sequential) -> None:
-        optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9, weight_decay=1e-4)
-        epochs = 6 if fast else 20
+        optimizer = SGD(
+            model.parameters(),
+            lr=optim["lr"],
+            momentum=optim["momentum"],
+            weight_decay=optim["weight_decay"],
+        )
+        epochs = schedule["fast_epochs"] if fast else schedule["epochs"]
         train_classifier(
-            model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
+            model,
+            optimizer,
+            split.train.images,
+            split.train.labels,
+            epochs=epochs,
+            batch_size=schedule["batch_size"],
         )
         if not fast:
-            optimizer.lr = 0.005
+            optimizer.lr = schedule["fine_tune_lr"]
             train_classifier(
-                model, optimizer, split.train.images, split.train.labels, epochs=8, batch_size=64
+                model,
+                optimizer,
+                split.train.images,
+                split.train.labels,
+                epochs=schedule["fine_tune_epochs"],
+                batch_size=schedule["batch_size"],
             )
 
-    return _cached_model(f"alexnet_objects{_suffix(fast)}", build, train), split
+    return _cached_model(f"alexnet_objects{_suffix(fast)}", "alexnet_objects", build, train), split
 
 
-@ZOO.register("dq_objects", metadata={"summary": "Defensive Quantization models on the objects"})
-def dq_models_objects(bits: int = 4, fast: bool = False) -> Tuple[Dict[str, Sequential], DataSplit]:
+@ZOO.register(
+    "dq_objects",
+    metadata={
+        "summary": "Defensive Quantization models on the objects",
+        "recipe": DQ_OBJECTS_RECIPE,
+    },
+)
+def dq_models_objects(
+    bits: int = 4, fast: bool = False
+) -> Tuple[Dict[str, Sequential], DataSplit]:
     """Defensive Quantization models (full and weight-only) trained on the objects.
 
     Returns a dict with keys ``"full"`` and ``"weight"``.
     """
-    split = load_objects_split(fast=fast)
+    recipe = DQ_OBJECTS_RECIPE
+    schedule = recipe["schedule"]
+    split = load_objects_split(recipe["dataset"]["test_fraction"], fast=fast)
     models: Dict[str, Sequential] = {}
-    for mode in ("full", "weight"):
+    for mode in recipe["arch"]["modes"]:
 
         def build(mode=mode) -> Sequential:
-            return build_dq_cnn(split.train.input_shape, bits=bits, mode=mode, seed=3)
-
-        def train(model: Sequential) -> None:
-            optimizer = Adam(model.parameters(), lr=0.002)
-            epochs = 5 if fast else 18
-            train_classifier(
-                model, optimizer, split.train.images, split.train.labels, epochs=epochs, batch_size=64
+            return build_dq_cnn(
+                split.train.input_shape, bits=bits, mode=mode, seed=recipe["arch"]["seed"]
             )
 
-        models[mode] = _cached_model(f"dq_{mode}_objects_{bits}b{_suffix(fast)}", build, train)
+        def train(model: Sequential) -> None:
+            optimizer = Adam(model.parameters(), lr=recipe["optimizer"]["lr"])
+            epochs = schedule["fast_epochs"] if fast else schedule["epochs"]
+            train_classifier(
+                model,
+                optimizer,
+                split.train.images,
+                split.train.labels,
+                epochs=epochs,
+                batch_size=schedule["batch_size"],
+            )
+
+        models[mode] = _cached_model(
+            f"dq_{mode}_objects_{bits}b{_suffix(fast)}", "dq_objects", build, train
+        )
     return models, split
 
 
 @ZOO.register(
     "substitute_digits",
-    metadata={"summary": "black-box substitute trained from a digit victim's queries"},
+    metadata={
+        "summary": "black-box substitute trained from a digit victim's queries",
+        "recipe": SUBSTITUTE_DIGITS_RECIPE,
+    },
 )
 def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
     """Black-box substitute model trained from the victim's query labels.
@@ -209,13 +405,19 @@ def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
     """
     from repro.nn.models import convert_to_approximate
 
+    recipe = SUBSTITUTE_DIGITS_RECIPE
+    arch, schedule = recipe["arch"], recipe["schedule"]
     exact_model, split = lenet_digits(fast=fast)
     victim_model = convert_to_approximate(exact_model) if victim == "da" else exact_model
-    cache_path = zoo_cache_path(f"substitute_{victim}_digits{_suffix(fast)}")
+    cache_path = zoo_cache_path(f"substitute_{victim}_digits{_suffix(fast)}", "substitute_digits")
 
     def build() -> Sequential:
         return build_lenet5(
-            split.train.input_shape, conv_channels=(8, 16), fc_sizes=(64, 48), dropout=0.2, seed=11
+            split.train.input_shape,
+            conv_channels=tuple(arch["conv_channels"]),
+            fc_sizes=tuple(arch["fc_sizes"]),
+            dropout=arch["dropout"],
+            seed=arch["seed"],
         )
 
     substitute = build()
@@ -227,14 +429,16 @@ def substitute_digits(victim: str = "da", fast: bool = False) -> Sequential:
             return substitute
         from repro.core.substitute import train_substitute
 
-        n_queries = 400 if fast else 1000
+        n_queries = recipe["queries"]["fast_n_queries" if fast else "n_queries"]
         substitute = train_substitute(
             victim_model.predict,
             split.train.images[:n_queries],
             build_model=build,
-            epochs=6 if fast else 20,
-            augmentation_rounds=0 if fast else 1,
-            seed=11,
+            epochs=schedule["fast_epochs"] if fast else schedule["epochs"],
+            augmentation_rounds=schedule[
+                "fast_augmentation_rounds" if fast else "augmentation_rounds"
+            ],
+            seed=schedule["seed"],
         )
         _save_atomic(substitute, cache_path)
     return substitute

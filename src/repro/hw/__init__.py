@@ -10,6 +10,11 @@ to its relative cell delay.  The model reproduces the *normalised ratios* the
 paper reports (see DESIGN.md, "Substitutions").
 """
 
+#: version of the analytical gate-count cost model.  Bump when transistor
+#: counts, cell delays or the normalisation change; energy cells declare an
+#: ``"hw"`` dependency and re-key on it.
+HW_MODEL_VERSION = 1
+
 from repro.hw.energy_model import (
     CellCost,
     MultiplierCost,

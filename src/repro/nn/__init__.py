@@ -19,6 +19,14 @@ implements the required substrate from scratch:
 * :mod:`repro.nn.models` -- the model zoo (LeNet-5, small AlexNet, DQ CNN).
 """
 
+#: numerics version of the model substrate's forward/backward bit patterns.
+#: Bump when inference or training numerics change for *every* model (e.g.
+#: the batch-invariant GEMM rework); zoo recipe digests fold it in, so every
+#: trained-parameter cache and every model-dependent cell re-keys.
+#: Version 2: batch-invariant forward/backward numerics (the old
+#: ``ZOO_NUMERICS_VERSION = 2``).
+MODEL_NUMERICS_VERSION = 2
+
 from repro.nn.approx import ApproxConv2d, ApproxLinear
 from repro.nn.layers import (
     BatchNorm2d,

@@ -299,23 +299,32 @@ def convert_to_bfloat16(model: Sequential, convert_linear: bool = False) -> Sequ
 # Hardware variants resolve a *trained* exact model into the deployment the
 # experiment pipeline names in its specs ("exact", "da", "heap", ...).  Each
 # factory shares the trained parameters with the input model.
-VARIANTS.register("exact", lambda model: model, metadata={"summary": "unmodified float32 model"})
+#
+# The ``"approx"`` metadata flag declares whether the variant's forward pass
+# executes through the approximate-arithmetic substrate (multiplier models +
+# the fused GEMM kernel engine): cell digests use it to decide whether a cell
+# depends on the "kernels"/"arith" fingerprint surfaces (docs/caching.md).
+VARIANTS.register(
+    "exact",
+    lambda model: model,
+    metadata={"summary": "unmodified float32 model", "approx": False},
+)
 VARIANTS.register(
     "da",
     lambda model, **kw: convert_to_approximate(model, **kw),
-    metadata={"summary": "Defensive Approximation (Ax-FPM convolutions)"},
+    metadata={"summary": "Defensive Approximation (Ax-FPM convolutions)", "approx": True},
 )
 VARIANTS.register(
     "heap",
     lambda model, **kw: convert_to_approximate(
         model, multiplier=HEAPMultiplier(), name_suffix="_heap", **kw
     ),
-    metadata={"summary": "DA built from the HEAP multiplier"},
+    metadata={"summary": "DA built from the HEAP multiplier", "approx": True},
 )
 VARIANTS.register(
     "bfloat16",
     lambda model, **kw: convert_to_bfloat16(model, **kw),
-    metadata={"summary": "bfloat16-truncated convolutions"},
+    metadata={"summary": "bfloat16-truncated convolutions", "approx": True},
 )
 
 

@@ -227,7 +227,7 @@ class ParallelEngine:
                             merged = runner.merge_cell(
                                 task.kind, task.payload, shard_values.pop(digest)
                             )
-                            runner.write_cell(task.kind, digest, merged)
+                            runner.write_cell(task.kind, digest, merged, task.payload)
                         lease = leases.pop(digest, None)
                         if lease is not None:
                             lease.release()
@@ -264,5 +264,5 @@ class ParallelEngine:
             if value is not None:
                 return CellOutcome(value, "hit", 0.0, task.n_shards)
             value = self.runner.compute_cell(task.kind, task.payload)
-            self.runner.write_cell(task.kind, task.digest, value)
+            self.runner.write_cell(task.kind, task.digest, value, task.payload)
             return CellOutcome(value, "computed", perf_counter() - start, task.n_shards)

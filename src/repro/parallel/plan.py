@@ -70,6 +70,53 @@ class ExecutionPlan:
         return sorted(self.tasks.values(), key=lambda task: -task.cost)
 
 
+def cache_outlook(runner, plan: ExecutionPlan) -> Dict[str, Any]:
+    """Classify every planned cell as warm, stale or cold -- before computing.
+
+    * **warm** -- the artifact exists under the planned digest: a pure cache
+      hit.
+    * **stale** -- no artifact under the planned digest, but the namespace
+      holds one with the same *content key* (same kind + fast + payload)
+      recorded under different dependency fingerprints: the same cell
+      computed by superseded code.  It will be recomputed; ``cache gc
+      --stale`` reclaims the old bytes.
+    * **cold** -- never computed here at all.
+
+    Costs one ``exists`` per cell plus one sidecar scan per referenced
+    namespace; no model is resolved and nothing is computed, so the service
+    tier runs this at submit time and ``python -m repro info`` on every
+    invocation.
+    """
+    from repro.pipeline.fingerprints import content_key
+    from repro.pipeline.runner import _jsonable
+
+    store = runner.store
+    indexes: Dict[str, Dict[str, list]] = {}
+    counts = {"warm": 0, "stale": 0, "cold": 0}
+    cells: List[Dict[str, Any]] = []
+    for digest, task in plan.tasks.items():
+        entry: Dict[str, Any] = {
+            "kind": task.kind,
+            "digest": digest,
+            "experiment": task.owner,
+        }
+        if store.contains(task.kind, digest):
+            entry["status"] = "warm"
+        else:
+            if task.kind not in indexes:
+                indexes[task.kind] = store.meta_index(task.kind)
+            key = content_key(task.kind, runner.fast, _jsonable(task.payload))
+            superseded = [d for d in indexes[task.kind].get(key, []) if d != digest]
+            if superseded:
+                entry["status"] = "stale"
+                entry["superseded"] = superseded
+            else:
+                entry["status"] = "cold"
+        counts[entry["status"]] += 1
+        cells.append(entry)
+    return {**counts, "cells": cells}
+
+
 def build_plan(runner, specs: List[Any]) -> ExecutionPlan:
     """Plan ``specs`` against ``runner``'s configuration (fast flag, sharding).
 

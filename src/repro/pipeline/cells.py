@@ -40,13 +40,15 @@ from repro.core.evaluation import select_correctly_classified
 from repro.core.metrics import l2_distance, mse, psnr
 from repro.nn.approx import ApproxConv2d, prime_gemm_kernels
 from repro.nn.layers import Conv2d
+from repro.nn.models import VARIANTS
 from repro.nn.training import evaluate_accuracy
 from repro.obs import TRACER
 from repro.parallel.sharding import cell_seed
 from repro.parallel.sharding import n_shards as _shard_count
 from repro.parallel.sharding import shard_bounds
+from repro.pipeline.fingerprints import ZOO_PREFIX, conservative_keys
 from repro.pipeline.spec import ExperimentSpec
-from repro.registry import registry
+from repro.registry import RegistryError, registry
 
 #: unified registry of cell computations (namespace ``"cell-kind"``)
 CELL_KINDS = registry("cell-kind")
@@ -63,13 +65,29 @@ class CellRequest:
 
 @dataclass(frozen=True)
 class CellKind:
-    """One cell kind: shard computation, merge and model warm-up."""
+    """One cell kind: shard computation, merge, model warm-up and deps."""
 
     name: str
     shard_fn: Callable[[Any, Dict[str, Any], int], Dict[str, Any]]
     merge_fn: Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]
     shards_fn: Callable[[Any, Dict[str, Any]], int]
     warm_fn: Optional[Callable[[Any, Dict[str, Any]], None]] = None
+    #: payload -> fingerprint surface keys the cell's value depends on
+    #: (:mod:`repro.pipeline.fingerprints`); ``None`` falls back to the
+    #: conservative every-surface set
+    deps_fn: Optional[Callable[[Dict[str, Any]], Any]] = None
+
+    def dependencies(self, payload: Dict[str, Any]) -> tuple:
+        """The sorted, deduplicated surface keys this cell re-keys on.
+
+        Declared per kind at registration (``deps=``) and usually
+        payload-conditional: an ``accuracy`` cell over the ``exact`` variant
+        has no ``kernels`` dependency, its ``da`` sibling does -- which is
+        exactly why a kernel bump leaves clean-accuracy cells warm.
+        """
+        if self.deps_fn is None:
+            return conservative_keys(payload)
+        return tuple(sorted(set(self.deps_fn(payload))))
 
     def n_shards(self, runner, payload: Dict[str, Any]) -> int:
         """How many shards the cell decomposes into.
@@ -110,8 +128,17 @@ def register_cell_kind(
     merge: Optional[Callable[[Dict[str, Any], List[Dict[str, Any]]], Dict[str, Any]]] = None,
     shards: Optional[Callable[[Any, Dict[str, Any]], int]] = None,
     warm: Optional[Callable[[Any, Dict[str, Any]], None]] = None,
+    deps: Any = None,
 ) -> CellKind:
-    """Register a cell kind, either single-shot (``compute``) or sharded."""
+    """Register a cell kind, either single-shot (``compute``) or sharded.
+
+    ``deps`` declares the fingerprint surfaces the cell's value depends on
+    (:mod:`repro.pipeline.fingerprints`): a static tuple of surface keys, or
+    a callable ``payload -> keys`` for payload-conditional dependencies.
+    Omitting it keys the cell on *every* surface -- safe, never sharper than
+    the old global version knob, so new kinds should always declare.
+    """
+    deps_fn = deps if callable(deps) or deps is None else (lambda _payload, _d=tuple(deps): _d)
     if compute is not None:
         kind = CellKind(
             name=name,
@@ -119,11 +146,15 @@ def register_cell_kind(
             merge_fn=lambda _payload, results: results[0],
             shards_fn=lambda _runner, _payload: 1,
             warm_fn=warm,
+            deps_fn=deps_fn,
         )
     else:
         if shard is None or merge is None or shards is None:
             raise ValueError("sharded cell kinds need shard=, merge= and shards=")
-        kind = CellKind(name=name, shard_fn=shard, merge_fn=merge, shards_fn=shards, warm_fn=warm)
+        kind = CellKind(
+            name=name, shard_fn=shard, merge_fn=merge, shards_fn=shards, warm_fn=warm,
+            deps_fn=deps_fn,
+        )
     CELL_KINDS.register(name, kind, metadata={"sharded": compute is None})
     return kind
 
@@ -134,6 +165,45 @@ def get_cell_kind(name: str) -> CellKind:
 
 
 # --------------------------------------------------------------------- helpers
+def variant_is_approx(name: str) -> bool:
+    """Whether a hardware variant's forward pass runs on approximate arithmetic.
+
+    ``dq_*`` variants are independently-trained quantised models evaluated in
+    exact float32 (their zoo recipe surface covers them); everything else is
+    answered by the variant registry's ``"approx"`` metadata.  Unknown
+    variants are treated as approximate -- the conservative direction: a
+    too-broad dependency recomputes a warm cell, a too-narrow one serves a
+    stale value.
+    """
+    if name.startswith("dq_"):
+        return False
+    try:
+        meta = VARIANTS.get(name).metadata
+    except RegistryError:
+        return True
+    return bool(meta.get("approx", True))
+
+
+def variant_surfaces(*variants: str) -> tuple:
+    """``("arith", "kernels")`` if any named variant executes approximately."""
+    if any(variant_is_approx(name) for name in variants):
+        return ("arith", "kernels")
+    return ()
+
+
+def zoo_surfaces(payload: Dict[str, Any], *fields: str) -> tuple:
+    """``zoo:<name>`` recipe surfaces for the zoo entries a payload names."""
+    return tuple(
+        ZOO_PREFIX + str(payload[field]) for field in fields if payload.get(field)
+    )
+
+
+#: surfaces every attack-evaluation cell shares: the attack numerics, the
+#: model forward/backward numerics it queries, the dataset its victims come
+#: from and the selection/success accounting of the evaluation harness
+_ATTACK_SURFACES = ("attacks", "datasets", "evaluation", "models")
+
+
 def _payload_spec(payload: Dict[str, Any]) -> ExperimentSpec:
     """A minimal spec carrying what model resolution needs from a payload."""
     params = {}
@@ -311,6 +381,12 @@ register_cell_kind(
     merge=_transferability_merge,
     shards=_attack_shards,
     warm=lambda runner, payload: _warm_model(runner, payload, list(payload["targets"])),
+    # adversarial examples are crafted on the source variant and replayed on
+    # every target, so approximate arithmetic matters iff any of them is
+    # approximate; dq targets add their own training-recipe surface
+    deps=lambda p: _ATTACK_SURFACES
+    + variant_surfaces(p["source"], *p["targets"])
+    + zoo_surfaces(p, "model", "dq_zoo"),
 )
 
 
@@ -355,6 +431,12 @@ register_cell_kind(
     merge=_blackbox_merge,
     shards=_attack_shards,
     warm=_blackbox_warm,
+    # the substitute is trained from the victim's query labels, so a victim
+    # that runs approximately ("da") pulls in the kernel surfaces even though
+    # the substitute itself is exact
+    deps=lambda p: _ATTACK_SURFACES
+    + variant_surfaces(p["victim"])
+    + zoo_surfaces(p, "model", "substitute"),
 )
 
 
@@ -396,6 +478,9 @@ register_cell_kind(
     merge=_whitebox_merge,
     shards=_attack_shards,
     warm=lambda runner, payload: _warm_model(runner, payload, [payload["victim"]]),
+    deps=lambda p: _ATTACK_SURFACES
+    + variant_surfaces(p["victim"])
+    + zoo_surfaces(p, "model", "dq_zoo"),
 )
 
 
@@ -413,6 +498,13 @@ register_cell_kind(
     "accuracy",
     compute=_accuracy_compute,
     warm=lambda runner, payload: _warm_model(runner, payload, [payload["variant"]]),
+    # clean accuracy of the *exact* variant has no kernel dependency at all --
+    # the flagship case of fine-grained invalidation: a kernel-numerics bump
+    # leaves these cells warm while their "da"/"heap"/"bfloat16" siblings
+    # recompute
+    deps=lambda p: ("datasets", "evaluation", "models")
+    + variant_surfaces(p["variant"])
+    + zoo_surfaces(p, "model", "dq_zoo"),
 )
 
 
@@ -446,7 +538,8 @@ def _noise_profile_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
-register_cell_kind("noise_profile", compute=_noise_profile_compute)
+# pure multiplier-substrate measurements: no model, dataset or kernel engine
+register_cell_kind("noise_profile", compute=_noise_profile_compute, deps=("arith",))
 
 
 # --------------------------------------------------------- bespoke experiments
@@ -475,7 +568,11 @@ def _conv_response_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"points": points}
 
 
-register_cell_kind("conv_response", compute=_conv_response_compute)
+# compares an exact Conv2d against its ApproxConv2d conversion on synthetic
+# inputs: layer numerics + the approximate substrate + the GEMM engine
+register_cell_kind(
+    "conv_response", compute=_conv_response_compute, deps=("arith", "kernels", "models")
+)
 
 
 def _confidence_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -508,6 +605,10 @@ register_cell_kind(
     "confidence",
     compute=_confidence_compute,
     warm=lambda runner, payload: _warm_model(runner, payload, ["exact", "da"]),
+    # always compares the exact model against its "da" conversion
+    deps=lambda p: ("datasets", "evaluation", "models")
+    + variant_surfaces("exact", "da")
+    + zoo_surfaces(p, "model"),
 )
 
 
@@ -532,6 +633,9 @@ register_cell_kind(
     "feature_maps",
     compute=_feature_maps_compute,
     warm=lambda runner, payload: _warm_model(runner, payload, [payload["variant"]]),
+    deps=lambda p: ("datasets", "models")
+    + variant_surfaces(p["variant"])
+    + zoo_surfaces(p, "model", "dq_zoo"),
 )
 
 
@@ -542,4 +646,5 @@ def _energy_compute(runner, payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"rows": [[name, energy, delay] for name, energy, delay in table_fn()]}
 
 
-register_cell_kind("energy", compute=_energy_compute)
+# analytical cost-model lookups: nothing but the hw model can move them
+register_cell_kind("energy", compute=_energy_compute, deps=("hw",))

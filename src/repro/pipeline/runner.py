@@ -56,28 +56,15 @@ EXPERIMENTS = registry("experiment")
 #: execution strategies, one per spec ``kind`` (namespace ``"experiment-kind"``)
 EXPERIMENT_KINDS = registry("experiment-kind")
 
-#: bump to invalidate all cached grid-cell artifacts.  Cell keys also include
-#: the package version, so a release that changes attack/evaluation behaviour
-#: invalidates stale artifacts automatically; within a development cycle, use
-#: ``use_cache=False`` / ``--no-cache`` / ``REPRO_PIPELINE_NO_CACHE=1`` after
-#: behavioural changes.  Version 2: attack-evaluation cells became sharded
-#: with per-shard ``SeedSequence``-spawned attack seeds.  Version 3:
-#: approximate layers execute through the fused GEMM kernel engine
-#: (:mod:`repro.arith.kernels`); convolutions with a spatial extent are
-#: bit-identical to version 2, but degenerate single-pixel convolutions
-#: (the Figure 4 response curves) and approximate-dense ablations now
-#: accumulate as a strict left fold instead of numpy's pairwise
-#: contiguous-axis sum, which can move a few low-order mantissa bits.
-#: Version 4: the batched attack engine -- model forward/backward GEMMs
-#: became batch-invariant (per-example conv GEMMs, fixed-width dense column
-#: blocks, loop-free softmax denominators), the loss gradient dropped its
-#: ``/N * N`` batch-mean roundtrip, stochastic attacks draw per-example
-#: ``SeedSequence`` streams keyed by global victim index (shard size left
-#: the payload: it no longer affects results), and C&W's constant
-#: escalation retires solved examples per-example.  The per-attack parity
-#: suite (``tests/test_attack_parity.py``) pins the new canonical semantics:
-#: batched rollouts are bit-for-bit the per-example loops.
-CELL_CACHE_VERSION = 4
+# Cell cache invalidation is *per dependency surface*, not global: each cell
+# kind declares the numerics surfaces its value depends on (``deps=`` in
+# :mod:`repro.pipeline.cells`) and the digest folds in only those surfaces'
+# fingerprint tokens (:mod:`repro.pipeline.fingerprints`).  The retired
+# global ``CELL_CACHE_VERSION`` knob's history -- and the migration story --
+# lives in ``docs/caching.md``; the per-surface version constants now carry
+# that history (e.g. :data:`repro.attacks.ATTACK_NUMERICS_VERSION`).  Within
+# a development cycle, ``use_cache=False`` / ``--no-cache`` /
+# ``REPRO_PIPELINE_NO_CACHE=1`` still forces recomputation wholesale.
 
 #: attack sample budget applied by ``--fast``
 FAST_MAX_SAMPLES = 4
@@ -236,7 +223,8 @@ class Runner:
         self.jobs = resolve_jobs(jobs)
         self.shard_size = attack_shard_size() if shard_size is None else max(1, int(shard_size))
         #: the multi-tenant artifact store backing the cell cache (namespace =
-        #: cell kind); budget / lease TTL come from ``REPRO_STORE_*`` env vars
+        #: cell kind); budget / lease TTL come from ``REPRO_STORE_BUDGET`` /
+        #: ``REPRO_STORE_LEASE_TTL``
         self.store = ArtifactStore(self.cache_dir)
         #: optional observer invoked with each :class:`CellEvent` as cells
         #: complete -- the service tier streams these to HTTP clients
@@ -245,6 +233,9 @@ class Runner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.telemetry = RunTelemetry(jobs=self.jobs)
+        #: the last run's pre-compute warm/stale/cold plan outlook
+        #: (:func:`repro.parallel.plan.cache_outlook`), for observability
+        self.last_outlook: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------- run
     def run(self, experiment: Union[str, ExperimentSpec]) -> ExperimentResult:
@@ -283,6 +274,16 @@ class Runner:
                     self._log(
                         f"[{eplan.spec.name}] kind={eplan.spec.kind} fast={self.fast} "
                         f"cells={len(eplan.requests)} jobs={self.jobs}"
+                    )
+                if self.use_cache and plan.tasks:
+                    from repro.parallel.plan import cache_outlook
+
+                    outlook = cache_outlook(self, plan)
+                    self.last_outlook = outlook
+                    self._log(
+                        f"  cache outlook: {outlook['warm']} warm / "
+                        f"{outlook['stale']} stale / {outlook['cold']} cold "
+                        f"of {len(plan.tasks)} cells"
                     )
                 outcomes = self._compute_cells(plan)
                 # cell compute is shared across the run's experiments, so
@@ -500,25 +501,66 @@ class Runner:
         return min(n, FAST_MAX_SAMPLES) if self.fast else n
 
     # ------------------------------------------------------- cell artifacts
+    def cell_dependencies(self, cell_kind: str, payload: Dict[str, Any]) -> Tuple[str, ...]:
+        """The fingerprint surface keys this cell's digest re-keys on.
+
+        Registered kinds answer from their ``deps=`` declaration; unknown
+        kinds (the legacy explicit-closure protocol) fall back to every
+        surface -- exactly as conservative as the retired global version.
+        """
+        from repro.pipeline.fingerprints import conservative_keys
+        from repro.registry import RegistryError
+
+        try:
+            kind = get_cell_kind(cell_kind)
+        except RegistryError:
+            return conservative_keys(payload)
+        return kind.dependencies(payload)
+
+    def cell_fingerprints(self, cell_kind: str, payload: Dict[str, Any]) -> Dict[str, str]:
+        """``{surface key: live fingerprint token}`` for this cell."""
+        from repro.pipeline.fingerprints import fingerprint_map
+
+        return fingerprint_map(self.cell_dependencies(cell_kind, payload))
+
     def cell_digest(self, cell_kind: str, payload: Dict[str, Any]) -> str:
         """The cell's content-derived cache key.
 
         ``payload`` must fully determine the cell's result: it is hashed
-        together with the cell kind, the fast flag, the package version and
-        :data:`CELL_CACHE_VERSION`.  Cells are keyed by *content*, not by
-        experiment name, so experiments that share work share artifacts.
+        together with the cell kind, the fast flag and the fingerprint
+        tokens of the dependency surfaces the kind declares
+        (:mod:`repro.pipeline.fingerprints`) -- so a numerics bump moves
+        exactly the digests of the cells that depend on it.  Cells are keyed
+        by *content*, not by experiment name, so experiments that share work
+        share artifacts; fingerprints are pure functions of module-level
+        version constants, so parent and forked worker always agree.
         """
-        import repro
-
         return canonical_digest(
             {
                 "cell_kind": cell_kind,
                 "fast": self.fast,
-                "version": CELL_CACHE_VERSION,
-                "package_version": repro.__version__,
+                "deps": self.cell_fingerprints(cell_kind, payload),
                 "payload": _jsonable(payload),
             }
         )
+
+    def cell_meta(self, cell_kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The provenance sidecar written next to the cell's artifact.
+
+        ``content_key`` identifies *what* the cell computes (kind + fast +
+        payload, no fingerprints); ``deps`` records the fingerprint tokens
+        it was computed under.  Together they let the store answer "is this
+        artifact stale, and which dependency moved?" without re-planning
+        (``cache stats`` / ``cache gc --stale`` / ``cache explain``).
+        """
+        from repro.pipeline.fingerprints import content_key
+
+        return {
+            "kind": cell_kind,
+            "fast": self.fast,
+            "content_key": content_key(cell_kind, self.fast, _jsonable(payload)),
+            "deps": self.cell_fingerprints(cell_kind, payload),
+        }
 
     def cell_path(self, cell_kind: str, digest: str) -> Path:
         """Where the cell's JSON artifact lives."""
@@ -534,10 +576,21 @@ class Runner:
             return None
         return self.store.get(cell_kind, digest)
 
-    def write_cell(self, cell_kind: str, digest: str, value: Any) -> None:
-        """Publish a computed cell value atomically (no-op with cache off)."""
+    def write_cell(
+        self,
+        cell_kind: str,
+        digest: str,
+        value: Any,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Publish a computed cell value atomically (no-op with cache off).
+
+        When the payload is known, a provenance sidecar (:meth:`cell_meta`)
+        is published alongside so the artifact's staleness stays checkable.
+        """
         if self.use_cache:
-            self.store.put(cell_kind, digest, value)
+            meta = self.cell_meta(cell_kind, payload) if payload is not None else None
+            self.store.put(cell_kind, digest, value, meta=meta)
 
     def compute_cell(self, cell_kind: str, payload: Dict[str, Any]) -> Any:
         """Compute a cell in-process through its registered kind (no cache IO)."""
@@ -583,7 +636,7 @@ class Runner:
             if value is not None:  # published between the read and the claim
                 return CellOutcome(value, "hit", time.perf_counter() - start, shards)
             value = produce()
-            self.write_cell(cell_kind, digest, value)
+            self.write_cell(cell_kind, digest, value, payload)
         finally:
             lease.release()
         return CellOutcome(value, "computed", time.perf_counter() - start, shards)

@@ -145,7 +145,7 @@ class JobQueue:
         or an inline spec dict -- or a bare spec dict (what ``python -m repro
         info <name> --json`` emits).
         """
-        from repro.parallel.plan import build_plan
+        from repro.parallel.plan import build_plan, cache_outlook
 
         if isinstance(payload, dict) and "experiments" not in payload:
             if "name" in payload and "kind" in payload:
@@ -172,13 +172,17 @@ class JobQueue:
         except Exception as exc:
             raise SubmitError(f"planning failed: {exc}") from exc
         digests = list(plan.tasks)
-        cached = sum(
-            1 for d, t in plan.tasks.items() if planner.store.contains(t.kind, d)
-        )
+        # warm/stale/cold outlook against the artifact store, then overlay
+        # the cells other running jobs are computing right now: a cell is
+        # "inflight" when it is not yet published but someone is on it
+        outlook = cache_outlook(planner, plan)
+        statuses = {cell["digest"]: cell["status"] for cell in outlook["cells"]}
+        cached = outlook["warm"]
         inflight = sum(
-            1
-            for d, t in plan.tasks.items()
-            if d in self._inflight and not planner.store.contains(t.kind, d)
+            1 for d in digests if statuses[d] != "warm" and d in self._inflight
+        )
+        stale = sum(
+            1 for d in digests if statuses[d] == "stale" and d not in self._inflight
         )
         self._counter += 1
         job = Job(
@@ -192,7 +196,8 @@ class JobQueue:
                 "cells_total": len(digests),
                 "cells_cached": cached,
                 "cells_inflight": inflight,
-                "cells_new": len(digests) - cached - inflight,
+                "cells_stale": stale,
+                "cells_new": len(digests) - cached - inflight - stale,
             },
         )
         self.jobs[job.id] = job

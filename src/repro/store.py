@@ -179,6 +179,17 @@ class ArtifactStore:
         """Where the artifact lives (the legacy cell-cache layout, unchanged)."""
         return self.root / self._safe(namespace) / f"{digest}.json"
 
+    def meta_path(self, namespace: str, digest: str) -> Path:
+        """Where the artifact's provenance sidecar lives (``.meta.json``).
+
+        The sidecar records what the writer knew at publication time --
+        for pipeline cells: the cell's content key and the dependency
+        fingerprints it was computed under (see
+        :mod:`repro.pipeline.fingerprints`).  Optional: artifacts written
+        without one are still readable, just unclassifiable by staleness.
+        """
+        return self.root / self._safe(namespace) / f"{digest}.meta.json"
+
     def _lease_path(self, namespace: str, digest: str) -> Path:
         return self.root / "leases" / f"{self._safe(namespace)}.{digest}.lease"
 
@@ -222,13 +233,67 @@ class ArtifactStore:
     def contains(self, namespace: str, digest: str) -> bool:
         return self.path(namespace, digest).exists()
 
-    def put(self, namespace: str, digest: str, value: Any, sort_keys: bool = True) -> Path:
-        """Atomically publish an artifact (readers see absent or complete)."""
+    def put(
+        self,
+        namespace: str,
+        digest: str,
+        value: Any,
+        sort_keys: bool = True,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically publish an artifact (readers see absent or complete).
+
+        ``meta`` publishes a provenance sidecar (:meth:`meta_path`) *before*
+        the artifact: a reader that sees the artifact is guaranteed to see
+        its sidecar too, so staleness classification never races publication.
+        """
         path = self.path(namespace, digest)
+        if meta is not None:
+            atomic_write_json(self.meta_path(namespace, digest), meta, sort_keys=True)
         atomic_write_json(path, value, sort_keys=sort_keys)
         if self.budget is not None:
             self.gc()
         return path
+
+    def get_meta(self, namespace: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The artifact's provenance sidecar, or ``None`` (absent / corrupt)."""
+        try:
+            meta = json.loads(self.meta_path(namespace, digest).read_text())
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def remove(self, namespace: str, digest: str) -> bool:
+        """Delete one artifact and its sidecar; ``True`` if anything went."""
+        removed = False
+        for path in (self.path(namespace, digest), self.meta_path(namespace, digest)):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    def meta_index(self, namespace: str) -> Dict[str, list]:
+        """``{content_key: [digests]}`` over one namespace's sidecars.
+
+        The pivot behind the warm/stale/cold plan outlook: a planned digest
+        that is absent but whose *content key* appears here is a stale cell
+        (same computation, superseded fingerprints), not a cold one.
+        """
+        index: Dict[str, list] = {}
+        try:
+            entries = sorted(os.scandir(self.root / self._safe(namespace)), key=lambda e: e.name)
+        except (FileNotFoundError, ValueError):
+            return index
+        for entry in entries:
+            if not entry.name.endswith(".meta.json"):
+                continue
+            digest = entry.name[: -len(".meta.json")]
+            meta = self.get_meta(namespace, digest)
+            if meta is not None and isinstance(meta.get("content_key"), str):
+                index.setdefault(meta["content_key"], []).append(digest)
+        return index
 
     # ------------------------------------------------------------- leases
     def try_lease(
@@ -371,6 +436,8 @@ class ArtifactStore:
             for entry in entries:
                 if not entry.name.endswith(".json") or entry.name.startswith("."):
                     continue
+                if entry.name.endswith(".meta.json"):  # provenance sidecar
+                    continue
                 try:
                     yield namespace, entry.name[: -len(".json")], Path(entry.path), entry.stat()
                 except OSError:
@@ -434,6 +501,9 @@ class ArtifactStore:
                 "evicted": 0,
                 "evicted_bytes": 0,
                 "skipped_leased": 0,
+                "orphan_meta_removed": self._remove_orphan_meta(
+                    {(ns, digest) for ns, digest, _, _ in entries}
+                ),
             }
             if budget is None:
                 report["bytes_after"] = total
@@ -449,6 +519,10 @@ class ArtifactStore:
                     path.unlink()
                 except OSError:
                     continue
+                try:  # the sidecar travels with its artifact
+                    self.meta_path(namespace, digest).unlink()
+                except OSError:
+                    pass
                 total -= stat.st_size
                 report["evicted"] += 1
                 report["evicted_bytes"] += stat.st_size
@@ -458,3 +532,38 @@ class ArtifactStore:
             span["evicted"] = report["evicted"]
             span["evicted_bytes"] = report["evicted_bytes"]
         return report
+
+    def _remove_orphan_meta(self, live: set) -> int:
+        """Drop sidecars whose artifact is gone (crashed writers, manual rm)."""
+        removed = 0
+        try:
+            namespaces = [
+                entry.name
+                for entry in os.scandir(self.root)
+                if entry.is_dir() and entry.name not in _RESERVED_DIRS
+                and not entry.name.startswith(".")
+            ]
+        except FileNotFoundError:
+            return removed
+        for namespace in namespaces:
+            try:
+                entries = list(os.scandir(self.root / namespace))
+            except FileNotFoundError:
+                continue
+            for entry in entries:
+                if not entry.name.endswith(".meta.json"):
+                    continue
+                digest = entry.name[: -len(".meta.json")]
+                if (namespace, digest) in live:
+                    continue
+                try:
+                    # a young sidecar may belong to a publication in flight
+                    # (put() writes meta first): leave anything fresher than
+                    # the lease TTL alone
+                    if entry.stat().st_mtime > time.time() - self.lease_ttl:
+                        continue
+                    os.unlink(entry.path)
+                    removed += 1
+                except OSError:
+                    continue
+        return removed

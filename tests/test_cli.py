@@ -27,11 +27,16 @@ def test_list_json_is_machine_readable(capsys):
     assert entry["kind"] == "blackbox" and entry["title"]
 
 
-def test_info_prints_spec_json(capsys):
-    assert main(["info", "table02_transferability_mnist"]) == 0
-    payload = json.loads(capsys.readouterr().out)
+def test_info_prints_spec_json_and_cell_outlook(tmp_path, capsys):
+    assert main(["info", "table02_transferability_mnist", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    # human mode: the spec JSON document, then the planned-cell outlook
+    spec_json, _, cells = out.partition("\n# cells")
+    payload = json.loads(spec_json)
     assert payload["kind"] == "transferability"
     assert payload["model"] == "lenet_digits"
+    assert "cold" in cells  # empty store: every planned cell is cold
+    assert "transferability" in cells
 
 
 def test_info_json_round_trips_through_from_dict(capsys):
