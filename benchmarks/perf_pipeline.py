@@ -18,6 +18,8 @@ is *off* (the shipped default): the per-call price of a disabled
 actually emits, as a fraction of the untraced wall time.  ``--check`` fails
 if that estimate reaches 2% -- the guard that keeps the tracer's disabled
 path an attribute read and an ``if``, never a context-manager allocation.
+The same estimate is made for the ``repro.faults`` injection sites with
+``REPRO_FAULTS`` unset, under the same 2% ``--check`` budget.
 
 Zoo models are resolved (trained or disk-loaded) once up front so the
 timings isolate pipeline execution, not model training.  Run it directly::
@@ -64,6 +66,12 @@ CHECK_METRICS = [
 #: the ratios above this is not baseline-relative -- 2% is the budget, full
 #: stop (the measured estimate is typically under 0.1%)
 MAX_TRACING_OFF_OVERHEAD = 0.02
+
+#: same contract for the fault-injection sites: with ``REPRO_FAULTS`` unset
+#: every ``FAULTS.should_inject`` call must stay an attribute read and a
+#: ``return False``, and the sites a run crosses must cost under 2% of its
+#: wall time in aggregate
+MAX_FAULTS_OFF_OVERHEAD = 0.02
 
 
 def _timed_run(jobs: int, cache_dir: Path, label: str, trials: int = 1) -> dict:
@@ -157,6 +165,43 @@ def _tracing_overhead(tmp: Path, untraced_wall: float) -> dict:
     }
 
 
+def _faults_overhead(tmp: Path, untraced_wall: float) -> dict:
+    """Estimate the cost of the fault-injection sites when they are disarmed.
+
+    Mirrors :func:`_tracing_overhead`: the per-call price of a *disarmed*
+    ``FAULTS.should_inject`` (one dict truthiness check) times the number of
+    injection sites one run of the workload actually crosses, over the
+    untimed serial wall.  The crossing count comes from arming every catalog
+    point at probability zero -- enabled enough to count ``checks``, certain
+    never to fire -- and reading the ``FAULT_STATS`` delta after a serial run.
+    """
+    from repro.faults import FAULT_POINTS, FAULT_STATS, FAULTS
+
+    iterations = 200_000
+    FAULTS.configure(None)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        FAULTS.should_inject("worker.crash", "bench")
+    disabled_call_seconds = (time.perf_counter() - start) / iterations
+
+    FAULTS.configure(",".join(f"{point}:0" for point in sorted(FAULT_POINTS)))
+    mark = FAULT_STATS.snapshot()
+    try:
+        runner = Runner(fast=True, cache_dir=tmp / "faults-armed", jobs=1)
+        runner.run_many(list(FAST_PERF_SUBSET))
+        checks = FAULT_STATS.delta(mark).get("checks", 0)
+    finally:
+        FAULTS.configure(None)
+
+    estimated = checks * disabled_call_seconds / max(untraced_wall, 1e-9)
+    return {
+        "disabled_check_ns": round(disabled_call_seconds * 1e9, 1),
+        "site_crossings_per_run": checks,
+        "estimated_off_overhead": round(estimated, 6),
+        "max_off_overhead": MAX_FAULTS_OFF_OVERHEAD,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", default="auto", help="parallel worker count (default: auto)")
@@ -201,6 +246,7 @@ def main(argv=None) -> int:
             jobs, tmp / "parallel" / "trial1", f"pool rerun (jobs={jobs}), warm cache"
         )
         tracing = _tracing_overhead(tmp, serial["wall_seconds"])
+        faults = _faults_overhead(tmp, serial["wall_seconds"])
 
     identical = serial.pop("_deterministic_payload") == parallel.pop("_deterministic_payload")
     record = {
@@ -214,6 +260,7 @@ def main(argv=None) -> int:
         "speedup": round(serial["wall_seconds"] / max(parallel["wall_seconds"], 1e-9), 3),
         "results_identical_across_jobs": identical,
         "tracing": tracing,
+        "faults": faults,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -227,6 +274,14 @@ def main(argv=None) -> int:
             f"ERROR: tracing-off overhead estimate "
             f"{tracing['estimated_off_overhead']:.4f} exceeds the "
             f"{MAX_TRACING_OFF_OVERHEAD:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and faults["estimated_off_overhead"] >= MAX_FAULTS_OFF_OVERHEAD:
+        print(
+            f"ERROR: faults-off overhead estimate "
+            f"{faults['estimated_off_overhead']:.4f} exceeds the "
+            f"{MAX_FAULTS_OFF_OVERHEAD:.0%} budget",
             file=sys.stderr,
         )
         return 1

@@ -343,6 +343,13 @@ class FusedLutGemmKernel(GemmKernel):
         bake_budget: Optional[int] = None,
     ) -> None:
         super().__init__(multiplier)
+        # chaos point: a kernel whose table bake dies (OOM, bad codegen in a
+        # real accelerator stack) raises here once per process -- the
+        # runner's retry loop recovers it (the injector's once-per-key guard
+        # lets the retry through)
+        from repro.faults import FAULTS
+
+        FAULTS.maybe_raise("kernel.build_fail", getattr(multiplier, "name", "?"))
         self.frac_bits = int(multiplier.frac_bits)
         self.side = operand_code_side(self.frac_bits)
         self.k_block = max(1, int(k_block))

@@ -11,7 +11,7 @@ Commands
     run-cost preview that resolves no models and computes nothing.
     ``--json`` emits only the exact machine-readable spec the service's
     ``POST /jobs`` accepts inline (round-trippable; no cell section).
-``run <experiment> [...] [--fast] [--jobs N]``
+``run <experiment> [...] [--fast] [--jobs N] [--resume]``
     Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
     printing the paper-style table and writing ``results/<name>.txt`` and
     ``results/<name>.json``.  ``run all`` executes the whole catalog.
@@ -21,7 +21,10 @@ Commands
     across worker processes -- the default ``auto`` uses every available
     core, and any value is bit-for-bit identical to ``--jobs 1``.  All
     requested experiments are planned as one deduplicated cell graph, so
-    ``run all`` computes each shared cell once.
+    ``run all`` computes each shared cell once.  Every run writes an
+    incremental manifest of completed cells; after a crash (or a
+    ``CellExecutionError``) ``--resume`` proves in the telemetry that only
+    unfinished cells are recomputed (see ``docs/faults.md``).
 ``serve [--host H] [--port P] [--workers N] [--jobs N]``
     Start the long-lived robustness-evaluation service: an HTTP API with a
     job queue in front of the same runner (see :mod:`repro.service`).
@@ -47,6 +50,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.parallel.engine import CellExecutionError
 from repro.pipeline import EXPERIMENTS, Runner, get_experiment, list_experiments
 from repro.registry import RegistryError
 
@@ -126,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for cell execution: a positive integer, or "
         "'auto' for the CPU count (default).  Results are identical for "
         "every value.",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run: cells the previous run's manifest "
+        "proves complete (and still cached) are skipped, and counted as "
+        "resumed in the telemetry",
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress progress lines (tables still print)"
@@ -281,6 +292,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         progress=progress,
         jobs=args.jobs,
+        resume=args.resume,
     )
 
     def show(result) -> None:
@@ -307,6 +319,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({telemetry.cache_hits} cached, {telemetry.cache_misses} computed, "
         f"{telemetry.compute_seconds:.1f}s compute) on {runner.jobs} worker(s)"
     )
+    if any(telemetry.faults.values()):
+        survived = ", ".join(f"{k}={v}" for k, v in telemetry.faults.items() if v)
+        print(f"# fault tolerance: {survived}")
     kernels = telemetry.snapshot().get("kernels", {})
     if kernels.get("fused_calls") or kernels.get("fallback_calls"):
         print(
@@ -514,6 +529,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # unknown experiment/component: a clean one-line error, not a traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except CellExecutionError as exc:
+        # a cell died for good (retry budget exhausted): one line naming the
+        # failing cell -- its message carries kind, digest and owning
+        # experiment -- not a traceback.  Finished cells are cached and in
+        # the run manifest, so --resume picks up where this run died.
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: completed cells are cached; rerun with --resume", file=sys.stderr)
+        return 3
     return 2  # pragma: no cover - argparse enforces the choices
 
 

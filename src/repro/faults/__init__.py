@@ -1,0 +1,56 @@
+"""repro.faults -- fault injection, retry policy and crash-resumable runs.
+
+Three pieces make the execution stack's fault tolerance *testable* instead
+of aspirational:
+
+* :mod:`repro.faults.injector` -- a registry of named injection points
+  (``worker.crash``, ``shard.hang``, ``store.torn_write``, ...) armed via
+  ``REPRO_FAULTS=point:prob:seed``, deterministic per site key so chaos runs
+  replay exactly;
+* :mod:`repro.faults.policy` -- the retry/timeout/backoff knobs
+  (``REPRO_SHARD_TIMEOUT``, ``REPRO_SHARD_RETRIES``,
+  ``REPRO_STORE_LEASE_POLL``, ``REPRO_JOB_RETRIES``) consumed by the
+  parallel engine, the artifact store and the service job queue;
+* :mod:`repro.faults.manifest` -- the incrementally-written per-run manifest
+  behind ``python -m repro run --resume``.
+
+See ``docs/faults.md`` for the fault model and the injection-point catalog.
+"""
+
+from repro.faults.injector import (
+    FAULT_POINTS,
+    FAULT_STATS,
+    FAULTS,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    InjectedFault,
+    parse_fault_specs,
+)
+from repro.faults.manifest import RunManifest
+from repro.faults.policy import (
+    POOL_RESPAWN_LIMIT,
+    backoff_seconds,
+    job_retries,
+    lease_poll,
+    shard_retries,
+    shard_timeout,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULT_STATS",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "InjectedFault",
+    "parse_fault_specs",
+    "RunManifest",
+    "POOL_RESPAWN_LIMIT",
+    "backoff_seconds",
+    "job_retries",
+    "lease_poll",
+    "shard_retries",
+    "shard_timeout",
+]

@@ -1,0 +1,113 @@
+"""Crash-resumable run manifests.
+
+A run that dies -- worker segfault cascade, OOM kill, ``kill -9`` on the CLI
+process -- leaves its completed cells published in the artifact store, but
+nothing that *names* them as a unit.  The manifest closes that gap: the
+runner writes ``results/<label>.manifest.json`` incrementally (atomic
+replace after every completed cell), recording each finished cell's digest,
+kind and outcome.  ``python -m repro run --resume`` (and service resubmits)
+read the previous manifest back and count every still-published completed
+cell as *resumed* in the run telemetry -- turning "the cache probably saved
+us" into an auditable number: a resumed run's ``cells_resumed`` plus its
+recomputed cells must account for exactly the interrupted run's plan.
+
+The manifest is evidence, not a cache layer: cell values still live in (and
+are trusted from) the content-addressed store, whose per-cell dependency
+fingerprints already guarantee a stale artifact can never be mistaken for a
+finished one -- a digest listed here but missing or superseded in the store
+is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.parallel.locks import atomic_write_json
+
+#: manifest schema version (bump on incompatible layout changes)
+MANIFEST_VERSION = 1
+
+
+class RunManifest:
+    """One run's incrementally-written record of completed cells."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        label: str,
+        experiments: Optional[List[str]] = None,
+        cells_total: int = 0,
+    ):
+        self.path = Path(path)
+        self.label = label
+        self.experiments = list(experiments or [])
+        self.cells_total = int(cells_total)
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self.finished = False
+        self._started_unix = time.time()
+
+    # ------------------------------------------------------------------ write
+    def record(self, digest: str, kind: str, status: str, seconds: float = 0.0) -> None:
+        """Mark one cell done and republish the manifest atomically.
+
+        Called as each cell completes, so the on-disk manifest always names
+        every cell finished *before* a crash -- atomic replace means a reader
+        (or a resumed run) sees the previous complete manifest or this one,
+        never a torn file.
+        """
+        self.completed[digest] = {
+            "kind": kind,
+            "status": status,
+            "seconds": round(float(seconds), 4),
+        }
+        self._write()
+
+    def finish(self) -> None:
+        """Mark the run complete (every planned cell accounted for)."""
+        self.finished = True
+        self._write()
+
+    def _write(self) -> None:
+        atomic_write_json(self.path, self.to_dict(), indent=2, sort_keys=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "label": self.label,
+            "experiments": self.experiments,
+            "cells_total": self.cells_total,
+            "cells_completed": len(self.completed),
+            "finished": self.finished,
+            "started_unix": round(self._started_unix, 3),
+            "completed": self.completed,
+        }
+
+    # ------------------------------------------------------------------- read
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> Optional["RunManifest"]:
+        """The manifest at ``path``, or ``None`` (absent / corrupt / foreign)."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+            return None
+        manifest = cls(
+            path,
+            label=str(data.get("label", "")),
+            experiments=[str(n) for n in data.get("experiments", [])],
+            cells_total=int(data.get("cells_total", 0)),
+        )
+        completed = data.get("completed")
+        if isinstance(completed, dict):
+            manifest.completed = {
+                str(digest): dict(entry)
+                for digest, entry in completed.items()
+                if isinstance(entry, dict)
+            }
+        manifest.finished = bool(data.get("finished", False))
+        return manifest

@@ -17,6 +17,19 @@ cache once the foreign writer publishes it, instead of being recomputed.  A
 foreign writer that crashes mid-cell loses its lease and the cell is
 computed here -- a wedged cache cannot outlive its writer.
 
+Fault tolerance (see ``docs/faults.md``): each shard runs under an optional
+wall-clock budget (``REPRO_SHARD_TIMEOUT``) and a bounded retry budget
+(``REPRO_SHARD_RETRIES``).  A worker that dies (segfault, OOM kill,
+injected ``worker.crash``) breaks the pool -- the engine respawns it and
+resubmits the lost shards with exponential backoff; a worker that wedges
+(injected ``shard.hang``, a stuck syscall) blows its shard's deadline, and
+since a running future cannot be cancelled the pool is killed outright and
+rebuilt.  After :data:`~repro.faults.policy.POOL_RESPAWN_LIMIT` rebuilds
+the engine stops trusting process isolation and degrades to computing the
+remaining shards serially in the parent -- slower, but the run completes
+with identical bits.  Every recovery action lands in the run telemetry's
+``faults`` counters, so a chaos run can *prove* what it survived.
+
 Worker processes are started with an initialiser that imports the pipeline
 registries and builds a per-process serial :class:`Runner`; zoo models and
 multiplier LUTs are resolved once per process (and, under the default
@@ -35,12 +48,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from time import monotonic, perf_counter
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.arith.kernels import KERNEL_STATS
 from repro.attacks.base import QUERY_STATS
+from repro.faults import FAULTS, POOL_RESPAWN_LIMIT, backoff_seconds, shard_retries, shard_timeout
 from repro.obs import TRACER
 from repro.parallel.plan import CellOutcome, CellTask
 from repro.parallel.telemetry import DIGEST_WIDTH
@@ -52,7 +70,26 @@ OnCell = Callable[[CellTask, CellOutcome], None]
 
 
 class CellExecutionError(RuntimeError):
-    """A cell shard raised in a worker; carries the failing cell's identity."""
+    """A cell failed permanently (retry budget exhausted or fatal error).
+
+    Carries the failing cell's identity -- kind, digest, shard index and
+    owning experiment -- so the CLI and the service can report *which* cell
+    of *which* experiment died without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "",
+        digest: str = "",
+        shard: Optional[int] = None,
+        owner: str = "",
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.digest = digest
+        self.shard = shard
+        self.owner = owner
 
 
 # ----------------------------------------------------------- worker side
@@ -83,14 +120,26 @@ def _worker_init(
 
 
 def _run_shard(
-    kind_name: str, payload: Dict[str, Any], shard_index: int, digest: str = ""
+    kind_name: str,
+    payload: Dict[str, Any],
+    shard_index: int,
+    digest: str = "",
+    attempt: int = 0,
 ) -> Tuple[Any, float, Dict[str, Any]]:
     """Compute one shard in a worker; returns ``(value, seconds, stats)``.
 
     ``stats`` carries the worker's pid and the shard's kernel/query counter
     deltas -- the parent folds them into :class:`RunTelemetry`, closing the
     per-process counter gap of parallel runs.
+
+    The ``worker.crash`` / ``shard.hang`` injection points live here, keyed
+    ``digest:shard:attempt`` -- folding the attempt in is what lets a chaos
+    run converge: the doomed first attempt dies deterministically, its retry
+    draws a fresh coin.
     """
+    fault_key = f"{digest}:{shard_index}:{attempt}"
+    FAULTS.maybe_crash(fault_key)
+    FAULTS.maybe_hang(fault_key)
     kernel_mark = KERNEL_STATS.snapshot()
     query_mark = QUERY_STATS.snapshot()
     start = perf_counter()
@@ -108,6 +157,34 @@ def _run_shard(
         "queries": QUERY_STATS.delta(query_mark),
     }
     return value, perf_counter() - start, stats
+
+
+@dataclass
+class _ShardRun:
+    """One shard attempt in flight: identity, retry count, wall deadline."""
+
+    task: CellTask
+    index: int
+    attempt: int = 0
+    deadline: Optional[float] = None  # monotonic, None when untimed
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when some of its workers are wedged.
+
+    ``shutdown()`` alone would join workers that will never return from a
+    hung shard, so the processes are terminated first (escalating to kill)
+    and only then is the executor's bookkeeping shut down.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)
 
 
 # ----------------------------------------------------------- parent side
@@ -178,75 +255,204 @@ class ParallelEngine:
         shard_values: Dict[str, List[Any]] = {t.digest: [None] * t.n_shards for t in tasks}
         shard_left: Dict[str, int] = {t.digest: t.n_shards for t in tasks}
         shard_seconds: Dict[str, float] = {t.digest: 0.0 for t in tasks}
-        by_digest = {t.digest: t for t in tasks}
-        workers = min(runner.jobs, sum(t.n_shards for t in tasks))
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(
-                runner.fast,
-                str(runner.cache_dir),
-                runner.use_cache,
-                runner.shard_size,
-                TRACER.worker_spool_dir(),
-            ),
+        done_shards: Set[Tuple[str, int]] = set()
+        total_shards = sum(t.n_shards for t in tasks)
+        retries = shard_retries()
+        timeout = shard_timeout()
+        workers = min(runner.jobs, total_shards)
+        initargs = (
+            runner.fast,
+            str(runner.cache_dir),
+            runner.use_cache,
+            runner.shard_size,
+            TRACER.worker_spool_dir(),
         )
+
+        def spawn_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+
+        def complete_shard(
+            task: CellTask,
+            index: int,
+            value: Any,
+            seconds: float,
+            stats: Optional[Dict[str, Any]],
+        ) -> None:
+            key = (task.digest, index)
+            if key in done_shards:  # resubmission raced its original
+                return
+            done_shards.add(key)
+            runner.telemetry.fold_worker(stats)
+            digest = task.digest
+            shard_values[digest][index] = value
+            shard_seconds[digest] += seconds
+            shard_left[digest] -= 1
+            if shard_left[digest] == 0:
+                with TRACER.span(
+                    "cell.merge",
+                    cat="engine",
+                    kind=task.kind,
+                    digest=digest[:DIGEST_WIDTH],
+                    shards=task.n_shards,
+                ):
+                    merged = runner.merge_cell(task.kind, task.payload, shard_values.pop(digest))
+                    runner.write_cell(task.kind, digest, merged, task.payload)
+                lease = leases.pop(digest, None)
+                if lease is not None:
+                    lease.release()
+                finish(task, CellOutcome(merged, "computed", shard_seconds[digest], task.n_shards))
+            else:
+                # a long multi-shard cell keeps proving its writer is alive,
+                # so the lease TTL bounds shard time, not cell time, before a
+                # waiter may take over.  A refresh that fails (TTL blown
+                # while the pool was being rebuilt, or an injected
+                # ``store.lease_steal``) re-claims the digest so the eventual
+                # publication is still announced to waiters.
+                lease = leases.get(digest)
+                if lease is not None and not lease.refresh():
+                    leases.pop(digest, None)
+                    fresh = runner.store.try_lease(task.kind, digest)
+                    if fresh is not None:
+                        leases[digest] = fresh
+                        runner.telemetry.count_fault("lease_reacquired")
+
+        def exhausted(run: _ShardRun, cause: str, exc: Optional[BaseException]) -> CellExecutionError:
+            return CellExecutionError(
+                f"{run.task.kind} cell {run.task.digest[:10]} shard {run.index} "
+                f"(owner {run.task.owner}) {cause} after {run.attempt + 1} attempt(s)"
+                + (f": {exc}" if exc is not None else ""),
+                kind=run.task.kind,
+                digest=run.task.digest,
+                shard=run.index,
+                owner=run.task.owner,
+            )
+
+        pool: Optional[ProcessPoolExecutor] = spawn_pool()
+        inflight: Dict[Future, _ShardRun] = {}
+        respawns = 0
+
+        def submit(run: _ShardRun) -> None:
+            future = pool.submit(
+                _run_shard, run.task.kind, run.task.payload, run.index, run.task.digest, run.attempt
+            )
+            run.deadline = monotonic() + timeout if timeout is not None else None
+            inflight[future] = run
+
+        def retry(run: _ShardRun, cause: str, exc: Optional[BaseException]) -> None:
+            if run.attempt >= retries:
+                raise exhausted(run, cause, exc) from exc
+            run.attempt += 1
+            runner.telemetry.count_fault("shard_retries")
+            submit(run)
+
         try:
-            futures: Dict[Future, Tuple[CellTask, int]] = {}
             for task in tasks:  # already cost-ordered by ExecutionPlan.scheduled
                 for index in range(task.n_shards):
-                    futures[
-                        pool.submit(_run_shard, task.kind, task.payload, index, task.digest)
-                    ] = (task, index)
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    submit(_ShardRun(task, index))
+            while len(done_shards) < total_shards and pool is not None:
+                if not inflight:  # defensive: nothing running, nothing queued
+                    break
+                poll: Optional[float] = None
+                if timeout is not None:
+                    deadlines = [r.deadline for r in inflight.values() if r.deadline is not None]
+                    if deadlines:
+                        poll = max(0.01, min(deadlines) - monotonic())
+                done, _ = wait(set(inflight), timeout=poll, return_when=FIRST_COMPLETED)
+                crashed: List[_ShardRun] = []
+                failed: List[Tuple[_ShardRun, BaseException]] = []
+                pool_broken = False
                 for future in done:
-                    task, index = futures[future]
+                    run = inflight.pop(future)
+                    if (run.task.digest, run.index) in done_shards:
+                        continue
                     try:
                         value, seconds, stats = future.result()
+                    except BrokenProcessPool:
+                        # a worker died abruptly; every pending future in the
+                        # pool fails with this, guilty shard and bystanders
+                        # alike -- all are retried on the rebuilt pool
+                        pool_broken = True
+                        crashed.append(run)
+                        continue
                     except Exception as exc:
-                        raise CellExecutionError(
-                            f"{task.kind} cell {task.digest[:10]} shard {index} "
-                            f"(owner {task.owner}) failed: {exc}"
-                        ) from exc
-                    runner.telemetry.fold_worker(stats)
-                    digest = task.digest
-                    shard_values[digest][index] = value
-                    shard_seconds[digest] += seconds
-                    shard_left[digest] -= 1
-                    if shard_left[digest] == 0:
-                        with TRACER.span(
-                            "cell.merge",
-                            cat="engine",
-                            kind=task.kind,
-                            digest=digest[:DIGEST_WIDTH],
-                            shards=task.n_shards,
-                        ):
-                            merged = runner.merge_cell(
-                                task.kind, task.payload, shard_values.pop(digest)
-                            )
-                            runner.write_cell(task.kind, digest, merged, task.payload)
-                        lease = leases.pop(digest, None)
-                        if lease is not None:
-                            lease.release()
-                        finish(
-                            by_digest[digest],
-                            CellOutcome(merged, "computed", shard_seconds[digest], task.n_shards),
+                        failed.append((run, exc))
+                        continue
+                    complete_shard(run.task, run.index, value, seconds, stats)
+                expired: List[_ShardRun] = []
+                if timeout is not None:
+                    now = monotonic()
+                    for future, run in list(inflight.items()):
+                        if run.deadline is not None and now >= run.deadline and not future.done():
+                            expired.append(run)
+                            del inflight[future]
+                    if expired:
+                        runner.telemetry.count_fault("shard_timeouts", len(expired))
+                if pool_broken or expired:
+                    if pool_broken:
+                        runner.telemetry.count_fault("worker_crashes")
+                    # a broken pool is unusable; a blown deadline means a
+                    # wedged worker, and running futures can't be cancelled:
+                    # either way the pool dies.  Innocent inflight shards
+                    # lose their partial work and rerun at the same attempt.
+                    survivors = list(inflight.values())
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = None
+                    respawns += 1
+                    if respawns > POOL_RESPAWN_LIMIT:
+                        runner.telemetry.count_fault("degraded_serial")
+                        warnings.warn(
+                            f"worker pool died {respawns} times; computing the remaining "
+                            f"{total_shards - len(done_shards)} shard(s) serially in-process",
+                            RuntimeWarning,
+                            stacklevel=2,
                         )
-                    else:
-                        # a long multi-shard cell keeps proving its writer is
-                        # alive, so the lease TTL bounds shard time, not cell
-                        # time, before a waiter may take over
-                        lease = leases.get(digest)
-                        if lease is not None:
-                            lease.refresh()
+                        break
+                    runner.telemetry.count_fault("pool_respawns")
+                    time.sleep(backoff_seconds(respawns))
+                    pool = spawn_pool()
+                    for run in expired:
+                        retry(run, "timed out", None)
+                    for run in crashed:
+                        retry(run, "crashed", None)
+                    for run in survivors:
+                        submit(run)
+                elif failed:
+                    for run, exc in failed:
+                        time.sleep(backoff_seconds(run.attempt + 1))
+                        retry(run, "failed", exc)
         except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
             raise
         else:
-            pool.shutdown(wait=True)
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        # graceful degradation: the pool kept dying, so the parent computes
+        # whatever is left itself.  compute_shard here has no crash/hang
+        # injection sites (those live in the worker-side _run_shard), so a
+        # chaos schedule cannot take the parent down with the workers.
+        if len(done_shards) < total_shards:
+            for task in tasks:
+                for index in range(task.n_shards):
+                    if (task.digest, index) in done_shards:
+                        continue
+                    start = perf_counter()
+                    with TRACER.span(
+                        "shard",
+                        cat="engine",
+                        kind=task.kind,
+                        digest=task.digest[:DIGEST_WIDTH],
+                        shard=index,
+                    ):
+                        value = get_cell_kind(task.kind).compute_shard(runner, task.payload, index)
+                    complete_shard(task, index, value, perf_counter() - start, None)
 
     def _collect_foreign(self, task: CellTask) -> CellOutcome:
         """Wait out another process computing ``task``, then read its artifact.

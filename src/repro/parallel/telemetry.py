@@ -76,10 +76,28 @@ class RunTelemetry:
     #: merged-trace summary ({"path", "spans", "pids"}) when the run was
     #: traced (``REPRO_TRACE``); ``None`` otherwise
     trace: Optional[Dict[str, Any]] = None
+    #: fault-tolerance event counts for this run: shard retries, timeouts,
+    #: worker crashes, pool respawns, serial degradation, lease re-acquires
+    #: and manifest-resumed cells.  Zero across the board on a healthy run.
+    faults: Dict[str, int] = field(
+        default_factory=lambda: {
+            "shard_retries": 0,
+            "shard_timeouts": 0,
+            "worker_crashes": 0,
+            "pool_respawns": 0,
+            "degraded_serial": 0,
+            "lease_reacquired": 0,
+            "cells_resumed": 0,
+        }
+    )
 
     def record(self, event: CellEvent) -> CellEvent:
         self.events.append(event)
         return event
+
+    def count_fault(self, name: str, n: int = 1) -> None:
+        """Bump one fault-tolerance counter (e.g. ``shard_retries``)."""
+        self.faults[name] = self.faults.get(name, 0) + n
 
     def fold_worker(self, stats: Optional[Dict[str, Any]]) -> None:
         """Merge one worker shard's counter deltas into the run totals."""
@@ -175,6 +193,7 @@ class RunTelemetry:
             "kernels": self.kernel_totals(),
             "attack_queries": self.attack_queries(),
             "worker_pids": sorted(self.worker_pids),
+            "faults": dict(self.faults),
             "cells": [e.to_dict() for e in self.events],
         }
         if self.trace is not None:

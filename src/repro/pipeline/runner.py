@@ -40,6 +40,7 @@ from repro.attacks.base import Attack, Classifier
 from repro.attacks.registry import ATTACKS
 from repro.core.results import format_table
 from repro.experiments.zoo import CACHE_DIR, ZOO
+from repro.faults import RunManifest, backoff_seconds, shard_retries
 from repro.nn.models import VARIANTS
 from repro.obs import TRACER
 from repro.parallel.locks import atomic_write_text
@@ -201,6 +202,13 @@ class Runner:
         attack-evaluation cells.  Execution tuning only: results are
         bit-for-bit identical for every value, exactly like ``jobs``.
         Defaults to the ``REPRO_ATTACK_SHARD_SIZE`` policy.
+    resume:
+        Resume an interrupted run: the previous run manifest
+        (``results/<label>.manifest.json``, written incrementally as cells
+        complete) names every finished cell, and each one still published in
+        the store is counted as *resumed* in the run telemetry instead of an
+        anonymous cache hit.  Requires ``results_dir`` and the cache; value
+        bits are unaffected either way.
     """
 
     def __init__(
@@ -212,6 +220,7 @@ class Runner:
         progress: Optional[Callable[[str], None]] = None,
         jobs: Union[int, str, None] = 1,
         shard_size: Optional[int] = None,
+        resume: bool = False,
     ):
         self.fast = bool(fast)
         self.results_dir = Path(results_dir) if results_dir is not None else None
@@ -236,6 +245,11 @@ class Runner:
         #: the last run's pre-compute warm/stale/cold plan outlook
         #: (:func:`repro.parallel.plan.cache_outlook`), for observability
         self.last_outlook: Optional[Dict[str, Any]] = None
+        self.resume = bool(resume)
+        # per-run crash-resume state: the active manifest and the digests the
+        # previous (interrupted) run's manifest proved complete
+        self._manifest: Optional[RunManifest] = None
+        self._resume_digests: set = set()
 
     # ------------------------------------------------------------------- run
     def run(self, experiment: Union[str, ExperimentSpec]) -> ExperimentResult:
@@ -270,6 +284,7 @@ class Runner:
                 with TRACER.span("plan", cat="runner", experiments=len(specs)):
                     plan = build_plan(self, specs)
                 self.telemetry.cells_total = len(plan.tasks)
+                self._prepare_manifest(label, specs, len(plan.tasks))
                 for eplan in plan.experiments:
                     self._log(
                         f"[{eplan.spec.name}] kind={eplan.spec.kind} fast={self.fast} "
@@ -303,6 +318,8 @@ class Runner:
                     if on_result is not None:
                         on_result(result)
                     results.append(result)
+                if self._manifest is not None:
+                    self._manifest.finish()
         finally:
             merged = None
             if scope is not None and self.results_dir is not None:
@@ -315,6 +332,38 @@ class Runner:
                     f"{len(trace['pids'])} process(es) -> {trace['path']}"
                 )
         return results
+
+    def _prepare_manifest(self, label: str, specs, cells_total: int) -> None:
+        """Arm this run's crash-resume manifest (requires a results dir).
+
+        With ``resume=True`` the previous manifest's completed digests are
+        loaded first; cells that hit the cache *and* appear there are counted
+        as ``cells_resumed`` in the telemetry -- the auditable proof that a
+        resumed run recomputed only unfinished work.
+        """
+        self._manifest = None
+        self._resume_digests = set()
+        if self.results_dir is None:
+            if self.resume:
+                self._log("  resume: no results dir, nothing to resume from")
+            return
+        path = self.results_dir / f"{label}.manifest.json"
+        if self.resume:
+            if not self.use_cache:
+                self._log("  resume: cache disabled; recomputing every cell")
+            else:
+                previous = RunManifest.load(path)
+                if previous is None:
+                    self._log("  resume: no usable manifest; running from scratch")
+                else:
+                    self._resume_digests = set(previous.completed)
+                    self._log(
+                        f"  resume: previous run completed "
+                        f"{len(self._resume_digests)} cell(s)"
+                    )
+        self._manifest = RunManifest(
+            path, label=label, experiments=[s.name for s in specs], cells_total=cells_total
+        )
 
     # ------------------------------------------------------- plan execution
     def kind_handler(self, kind: str):
@@ -339,6 +388,12 @@ class Runner:
                     experiment=task.owner,
                 )
             )
+            if outcome.status == "hit" and task.digest in self._resume_digests:
+                # the interrupted run finished this cell and its artifact is
+                # still published -- the resume actually saved the work
+                self.telemetry.count_fault("cells_resumed")
+            if self._manifest is not None:
+                self._manifest.record(task.digest, task.kind, outcome.status, outcome.seconds)
             self._log(self.telemetry.progress_line(event))
             if self.on_cell is not None:
                 self.on_cell(event)
@@ -616,11 +671,40 @@ class Runner:
         if value is not None:
             return CellOutcome(value, "hit", 0.0, shards)
 
-        def produce() -> Any:
+        def produce_once() -> Any:
             self._log(f"  cell: computing {cell_kind} {digest[:10]}")
             if compute is not None:
                 return _jsonable(compute())
             return self.compute_cell(cell_kind, payload)
+
+        def produce() -> Any:
+            # bounded retry with backoff -- the serial twin of the pool
+            # engine's shard retries.  Transient failures (an injected
+            # kernel.build_fail, a flaky IO error) get REPRO_SHARD_RETRIES
+            # fresh attempts; a deterministic bug exhausts the budget and
+            # surfaces as CellExecutionError with the cell's identity.
+            from repro.parallel.engine import CellExecutionError
+
+            budget = shard_retries()
+            attempt = 0
+            while True:
+                try:
+                    return produce_once()
+                except Exception as exc:
+                    if attempt >= budget:
+                        raise CellExecutionError(
+                            f"{cell_kind} cell {digest[:10]} failed after "
+                            f"{attempt + 1} attempt(s): {exc}",
+                            kind=cell_kind,
+                            digest=digest,
+                        ) from exc
+                    attempt += 1
+                    self.telemetry.count_fault("shard_retries")
+                    self._log(
+                        f"  cell: {cell_kind} {digest[:10]} failed ({exc}); "
+                        f"retry {attempt}/{budget}"
+                    )
+                    time.sleep(backoff_seconds(attempt))
 
         start = time.perf_counter()
         if not self.use_cache:

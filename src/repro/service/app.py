@@ -38,7 +38,7 @@ from repro.experiments.zoo import CACHE_DIR
 from repro.obs import Histogram, MetricsRenderer
 from repro.pipeline.runner import Runner, get_experiment, list_experiments
 from repro.service.http import HttpError, HttpServer, Request, Response
-from repro.service.jobs import JobQueue, SubmitError
+from repro.service.jobs import JOB_STATES, JobQueue, SubmitError
 from repro.store import ArtifactStore, parse_size
 
 #: what a Prometheus scraper expects back from ``GET /metrics``
@@ -237,9 +237,13 @@ class Service:
             "repro_jobs",
             "Jobs known to the queue, by lifecycle state.",
             samples=[
-                ({"state": state}, by_status.get(state, 0))
-                for state in ("queued", "running", "done", "failed")
+                ({"state": state}, by_status.get(state, 0)) for state in JOB_STATES
             ],
+        )
+        out.counter(
+            "repro_job_retries_total",
+            "Job attempts requeued after a retryable execution failure.",
+            qstats.get("job_retries", 0),
         )
         out.gauge("repro_job_workers", "Concurrent runner threads.", qstats["workers"])
         out.gauge(
@@ -288,6 +292,25 @@ class Service:
             "repro_store_lease_wait_seconds_total",
             "Total seconds spent waiting on foreign store leases.",
             store_counters.get("lease_wait_us", 0) / 1e6,
+        )
+
+        from repro.faults import FAULT_POINTS, FAULT_STATS
+
+        fault_counters = FAULT_STATS.snapshot()
+        by_field = {point.replace(".", "_"): point for point in FAULT_POINTS}
+        out.counter(
+            "repro_fault_checks_total",
+            "Armed fault-point evaluations since process start (service "
+            "process only; zero unless REPRO_FAULTS is set).",
+            fault_counters.get("checks", 0),
+        )
+        out.counter(
+            "repro_fault_injections_total",
+            "Injected faults fired since process start, by catalog point.",
+            samples=[
+                ({"point": point}, fault_counters.get(field, 0))
+                for field, point in sorted(by_field.items())
+            ],
         )
 
         out.counter(

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from repro.faults import FAULTS
+
 #: request hygiene limits -- a misbehaving client cannot balloon the process
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -230,6 +232,13 @@ class HttpServer:
             except Exception as exc:  # a handler bug is a 500, not a dead server
                 traceback.print_exc(file=sys.stderr)
                 result = Response(500, {"error": f"{type(exc).__name__}: {exc}"})
+            if request is not None and FAULTS.should_inject("http.disconnect", request.path):
+                # chaos: drop the connection after the handler ran but before
+                # any response byte -- what a mid-flight network partition
+                # looks like to the client, which must treat it as unknown
+                # outcome and re-poll
+                writer.transport.abort()
+                return
             if hasattr(result, "__aiter__"):
                 stream = result
                 status = 200

@@ -17,6 +17,21 @@ computes it and the others read the published artifact -- the job telemetry
 the client.  Progress is forwarded to the event loop as a monotonically
 numbered event list per job, which the HTTP layer replays and streams as
 NDJSON.
+
+Job lifecycle::
+
+    pending -> running -> succeeded
+                       -> retrying -> running -> ...   (bounded by retries)
+                       -> failed
+                       -> cancelled                     (service shutdown)
+
+A job that dies on a retryable execution error is requeued up to its retry
+budget (per-submission ``{"retries": N}``, default ``REPRO_JOB_RETRIES``) --
+already-published cells are cache hits on the next attempt, so a retry
+recomputes only what the failed attempt left unfinished.  Cancellation is
+honest: a job interrupted by shutdown reports ``cancelled``, never
+``failed``, and still-queued jobs are drained and marked the same way so no
+streamer blocks forever.
 """
 
 from __future__ import annotations
@@ -28,11 +43,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Callable, Dict, List, Optional
 
+from repro.faults import job_retries
+from repro.parallel.telemetry import DIGEST_WIDTH
 from repro.pipeline.runner import Runner
 from repro.pipeline.spec import ExperimentSpec
 
-#: job lifecycle: queued -> running -> done | failed
-TERMINAL_STATES = ("done", "failed")
+#: the states a job can end in (see the lifecycle diagram above)
+TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+#: every state a job can report, for metrics enumeration
+JOB_STATES = ("pending", "running", "retrying", "succeeded", "failed", "cancelled")
 
 
 class SubmitError(ValueError):
@@ -50,11 +70,15 @@ class Job:
     jobs: int  #: worker processes per runner (1 = serial in the job thread)
     digests: List[str]
     dedup: Dict[str, int]
-    status: str = "queued"
+    status: str = "pending"
+    max_retries: int = 0
+    attempts: int = 0
     submitted_unix: float = field(default_factory=time.time)
     started_unix: Optional[float] = None
     finished_unix: Optional[float] = None
     error: Optional[str] = None
+    #: identity of the cell whose failure ended the job (CellExecutionError)
+    failed_cell: Optional[Dict[str, Any]] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
     results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     summary: Dict[str, Any] = field(default_factory=dict)
@@ -78,6 +102,8 @@ class Job:
             "experiments": list(self.names),
             "fast": self.fast,
             "jobs": self.jobs,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
             "dedup": dict(self.dedup),
             "submitted_unix": round(self.submitted_unix, 3),
             "events": len(self.events),
@@ -91,9 +117,12 @@ class Job:
             out["started_unix"] = round(self.started_unix, 3)
         if self.finished_unix is not None:
             out["finished_unix"] = round(self.finished_unix, 3)
-            out["elapsed_seconds"] = round(self.finished_unix - self.started_unix, 4)
+            if self.started_unix is not None:  # cancelled-while-pending has no start
+                out["elapsed_seconds"] = round(self.finished_unix - self.started_unix, 4)
         if self.error is not None:
             out["error"] = self.error
+        if self.failed_cell is not None:
+            out["failed_cell"] = dict(self.failed_cell)
         if self.summary:
             out["summary"] = self.summary
         return out
@@ -117,6 +146,8 @@ class JobQueue:
         #: lifetime cell outcomes across every job (the /metrics counters)
         self.cells_hit = 0
         self.cells_computed = 0
+        #: lifetime job-retry count (the /metrics repro_job_retries_total)
+        self.retries_total = 0
 
     # ---------------------------------------------------------------- control
     def start(self) -> None:
@@ -127,14 +158,31 @@ class JobQueue:
             ]
 
     async def close(self) -> None:
+        """Stop the workers and drain the queue; interrupted jobs report
+        ``cancelled`` (never ``failed``) and every streamer unblocks.
+
+        Only ``CancelledError`` -- the expected outcome of our own
+        ``cancel()`` -- is suppressed here; a worker that died on a real
+        exception propagates it, instead of shutdown quietly eating the
+        evidence.
+        """
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:
             try:
                 await task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
         self._tasks = []
+        while not self._queue.empty():  # drain still-pending submissions
+            try:
+                self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._queue.task_done()
+        for job in self.jobs.values():
+            if not job.terminal:
+                self._finish(job, "cancelled")
 
     # ----------------------------------------------------------------- submit
     def submit(self, payload: Any) -> Job:
@@ -164,6 +212,11 @@ class JobQueue:
             raise SubmitError("'experiments' must be a non-empty list")
         fast = bool(payload.get("fast", False))
         jobs = payload.get("jobs", None)
+        retries = payload.get("retries", None)
+        if retries is None:
+            retries = job_retries()
+        elif not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+            raise SubmitError("'retries' must be a non-negative integer")
         specs = [self._resolve(entry) for entry in requested]
 
         planner = self.runner_factory(fast=fast, jobs=jobs)
@@ -192,6 +245,7 @@ class JobQueue:
             fast=fast,
             jobs=planner.jobs,
             digests=digests,
+            max_retries=retries,
             dedup={
                 "cells_total": len(digests),
                 "cells_cached": cached,
@@ -201,7 +255,7 @@ class JobQueue:
             },
         )
         self.jobs[job.id] = job
-        job.post("status", status="queued", experiments=job.names, dedup=job.dedup)
+        job.post("status", status="pending", experiments=job.names, dedup=job.dedup)
         self._queue.put_nowait(job)
         return job
 
@@ -227,31 +281,80 @@ class JobQueue:
         loop = asyncio.get_running_loop()
         while True:
             job = await self._queue.get()
+            if job.terminal:  # cancelled while queued (shutdown race)
+                self._queue.task_done()
+                continue
             job.status = "running"
-            job.started_unix = time.time()
+            job.attempts += 1
+            if job.started_unix is None:
+                job.started_unix = time.time()
             for digest in job.digests:
                 self._inflight.setdefault(digest, job.id)
-            job.post("status", status="running")
+            job.post("status", status="running", attempt=job.attempts)
             try:
                 await loop.run_in_executor(None, self._execute, loop, job)
+            except asyncio.CancelledError:
+                # shutdown interrupted this job: it did not fail, and saying
+                # so matters -- clients distinguish "rerun me" from "fix me".
+                # (The runner thread may still be draining in the executor.)
+                self._finish(job, "cancelled")
+                raise
             except Exception as exc:
-                job.status = "failed"
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.finished_unix = time.time()
-                job.post("status", status="failed", error=job.error)
+                error, failed_cell = self._describe_failure(exc)
+                if job.attempts <= job.max_retries:
+                    # every cell the failed attempt published is a cache hit
+                    # next time round: the retry recomputes only what's left
+                    job.status = "retrying"
+                    self.retries_total += 1
+                    job.post(
+                        "status",
+                        status="retrying",
+                        attempt=job.attempts,
+                        max_retries=job.max_retries,
+                        error=error,
+                    )
+                    self._queue.put_nowait(job)
+                else:
+                    job.error = error
+                    job.failed_cell = failed_cell
+                    extra = {"error": error}
+                    if failed_cell is not None:
+                        extra["failed_cell"] = failed_cell
+                    self._finish(job, "failed", **extra)
             else:
-                job.status = "done"
-                job.finished_unix = time.time()
-                job.post(
-                    "status",
-                    status="done",
-                    elapsed_seconds=round(job.finished_unix - job.started_unix, 4),
-                )
+                self._finish(job, "succeeded")
             finally:
                 for digest in job.digests:
                     if self._inflight.get(digest) == job.id:
                         del self._inflight[digest]
                 self._queue.task_done()
+
+    def _finish(self, job: Job, status: str, **data: Any) -> None:
+        """Move a job to a terminal state and post its final event."""
+        job.status = status
+        job.finished_unix = time.time()
+        if status == "succeeded" and job.started_unix is not None:
+            data.setdefault(
+                "elapsed_seconds", round(job.finished_unix - job.started_unix, 4)
+            )
+        job.post("status", status=status, **data)
+
+    @staticmethod
+    def _describe_failure(exc: Exception):
+        """``(message, failed_cell)`` -- cell identity when the error has one."""
+        from repro.parallel.engine import CellExecutionError
+
+        message = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, CellExecutionError) and exc.digest:
+            cell = {
+                "kind": exc.kind,
+                "digest": exc.digest[:DIGEST_WIDTH],
+                "owner": exc.owner,
+            }
+            if exc.shard is not None:
+                cell["shard"] = exc.shard
+            return message, cell
+        return message, None
 
     def _record_cell(self, job: Job, event: Dict[str, Any]) -> None:
         """Count one cell outcome and forward it to the job's event stream.
@@ -329,4 +432,5 @@ class JobQueue:
             "workers": self.workers,
             "cells_hit": self.cells_hit,
             "cells_computed": self.cells_computed,
+            "job_retries": self.retries_total,
         }

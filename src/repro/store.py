@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import time
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.counters import ProcessCounters
+from repro.faults import FAULTS, lease_poll
 from repro.obs import TRACER
 from repro.parallel.locks import FileLock, atomic_write_json
 
@@ -248,6 +250,15 @@ class ArtifactStore:
         its sidecar too, so staleness classification never races publication.
         """
         path = self.path(namespace, digest)
+        if FAULTS.should_inject("store.torn_write", f"{namespace}:{digest}"):
+            # simulate a non-atomic writer dying mid-write: half the payload
+            # lands at the artifact path, no sidecar.  get() treats the torn
+            # file as absent (unlink + recompute), so correctness holds -- the
+            # cell is just not cached this time.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(value, sort_keys=sort_keys)
+            path.write_text(text[: max(1, len(text) // 2)])
+            return path
         if meta is not None:
             atomic_write_json(self.meta_path(namespace, digest), meta, sort_keys=True)
         atomic_write_json(path, value, sort_keys=sort_keys)
@@ -334,7 +345,7 @@ class ArtifactStore:
         self,
         namespace: str,
         digest: str,
-        poll: float = 0.02,
+        poll: Optional[float] = None,
         timeout: Optional[float] = None,
     ) -> Tuple[Optional[Any], Optional[Lease]]:
         """Wait out a foreign writer: ``(value, None)`` or ``(None, lease)``.
@@ -343,7 +354,18 @@ class ArtifactStore:
         publishes and we read it lock-free) and falls back to claiming the
         lease only when the writer disappeared without publishing -- then the
         caller computes the artifact itself under the returned lease.
+
+        The poll interval starts at ``poll`` (default: the
+        ``REPRO_STORE_LEASE_POLL`` policy) and backs off exponentially to the
+        policy's cap, with +/-25% jitter -- N waiters watching one writer
+        spread their probes out instead of thundering the artifact and lease
+        files in lockstep.
         """
+        start_poll, poll_cap = lease_poll()
+        if poll is not None:
+            start_poll = max(0.001, float(poll))
+            poll_cap = max(start_poll, poll_cap)
+        interval = start_poll
         deadline = None if timeout is None else time.monotonic() + timeout
         start = time.monotonic()
         with TRACER.span(
@@ -365,7 +387,8 @@ class ArtifactStore:
                         raise TimeoutError(
                             f"artifact {namespace}/{digest[:12]} still leased after {timeout}s"
                         )
-                    time.sleep(poll)
+                    time.sleep(interval * random.uniform(0.75, 1.25))
+                    interval = min(poll_cap, interval * 2.0)
             finally:
                 STORE_STATS.lease_wait_us += int((time.monotonic() - start) * 1e6)
 
@@ -399,6 +422,16 @@ class ArtifactStore:
 
     def _refresh_lease(self, lease: Lease) -> bool:
         path = self._lease_path(lease.namespace, lease.digest)
+        if FAULTS.should_inject("store.lease_steal", f"{lease.namespace}:{lease.digest}"):
+            # simulate a usurper: the claim vanishes out from under its
+            # holder, whose refresh fails -- callers must re-acquire before
+            # trusting their exclusivity again
+            with self._meta_lock(lease.namespace, lease.digest):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return False
         with self._meta_lock(lease.namespace, lease.digest):
             holder = self._read_claim(path)
             if holder is None or holder.get("token") != lease.token:

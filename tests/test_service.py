@@ -156,7 +156,7 @@ def test_concurrent_overlapping_jobs_dedup_and_match_serial(service, tmp_path):
         outcomes = [future.result(timeout=600) for future in futures]
 
     for _job, events, final in outcomes:
-        assert final["status"] == "done", final.get("error")
+        assert final["status"] == "succeeded", final.get("error")
         kinds = [event["event"] for event in events]
         # the full lifecycle streamed: queued -> running -> cells -> result -> done
         assert kinds[0] == "status" and kinds[-1] == "status"
@@ -194,14 +194,14 @@ def test_warm_resubmit_is_instant(service):
     first_job, _events, first = service.run_job(
         {"experiments": ["fig13_bfloat16_noise"], "fast": True}
     )
-    assert first["status"] == "done"
+    assert first["status"] == "succeeded"
     # resubmit: planning sees every cell in the store
     start = time.perf_counter()
     _job, _events, final = service.run_job(
         {"experiments": ["fig13_bfloat16_noise"], "fast": True}
     )
     wall = time.perf_counter() - start
-    assert final["status"] == "done"
+    assert final["status"] == "succeeded"
     dedup = final["dedup"]
     assert dedup["cells_cached"] == dedup["cells_total"] > 0
     assert dedup["cells_new"] == 0
@@ -228,7 +228,7 @@ def test_inline_spec_submission(service, tiny_model, digit_split):
         # what `python -m repro info --json` emits is exactly what we POST
         wire = json.loads(json.dumps(spec.to_dict()))
         _job, events, final = service.run_job({"experiments": [wire], "fast": True})
-        assert final["status"] == "done", final.get("error")
+        assert final["status"] == "succeeded", final.get("error")
         served = service.get("/results/service_inline_whitebox")
         direct = Runner(fast=True, cache_dir=service.service.cache_dir, jobs=1).run(spec)
         assert deterministic(served) == deterministic(direct.to_json())
@@ -310,7 +310,7 @@ def test_metrics_prometheus_exposition(service):
     version = service.get("/health")["version"]
     assert samples[f'repro_service_info{{version="{version}"}}'] == 1
     assert samples["repro_service_uptime_seconds"] > 0
-    assert samples['repro_jobs{state="done"}'] == 0
+    assert samples['repro_jobs{state="succeeded"}'] == 0
     assert samples['repro_cells_total{outcome="computed"}'] == 0
     assert samples['repro_http_requests_total{method="GET",status="200"}'] >= 1
     # histogram invariants: buckets are cumulative, +Inf equals the count
@@ -325,9 +325,9 @@ def test_metrics_counters_move_with_a_job(service):
     _job, _events, final = service.run_job(
         {"experiments": ["fig13_bfloat16_noise"], "fast": True}
     )
-    assert final["status"] == "done"
+    assert final["status"] == "succeeded"
     _content_type, samples = scrape_metrics(service)
-    assert samples['repro_jobs{state="done"}'] == 1
+    assert samples['repro_jobs{state="succeeded"}'] == 1
     assert samples['repro_cells_total{outcome="computed"}'] > 0
     assert samples["repro_store_bytes"] > 0
     assert samples['repro_http_requests_total{method="POST",status="202"}'] == 1
@@ -335,6 +335,6 @@ def test_metrics_counters_move_with_a_job(service):
     _job2, _events2, final2 = service.run_job(
         {"experiments": ["fig13_bfloat16_noise"], "fast": True}
     )
-    assert final2["status"] == "done"
+    assert final2["status"] == "succeeded"
     _content_type, samples = scrape_metrics(service)
     assert samples['repro_cells_total{outcome="hit"}'] > 0
