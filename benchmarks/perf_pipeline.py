@@ -19,7 +19,10 @@ actually emits, as a fraction of the untraced wall time.  ``--check`` fails
 if that estimate reaches 2% -- the guard that keeps the tracer's disabled
 path an attribute read and an ``if``, never a context-manager allocation.
 The same estimate is made for the ``repro.faults`` injection sites with
-``REPRO_FAULTS`` unset, under the same 2% ``--check`` budget.
+``REPRO_FAULTS`` unset, and for the remote artifact tier when no
+``--remote`` peer is configured (the per-read price of the tiered store's
+local-only delegation times the store reads one warm run issues), each
+under the same 2% ``--check`` budget.
 
 Zoo models are resolved (trained or disk-loaded) once up front so the
 timings isolate pipeline execution, not model training.  Run it directly::
@@ -72,6 +75,12 @@ MAX_TRACING_OFF_OVERHEAD = 0.02
 #: ``return False``, and the sites a run crosses must cost under 2% of its
 #: wall time in aggregate
 MAX_FAULTS_OFF_OVERHEAD = 0.02
+
+#: and for the remote artifact tier: a run with no ``--remote`` peer must not
+#: pay for the tier's existence.  The estimate prices the worst plausible
+#: wiring (every store read going through a remote-less ``TieredStore``
+#: delegation instead of the plain local store) against a warm run's wall
+MAX_REMOTE_OFF_OVERHEAD = 0.02
 
 
 def _timed_run(jobs: int, cache_dir: Path, label: str, trials: int = 1) -> dict:
@@ -202,6 +211,52 @@ def _faults_overhead(tmp: Path, untraced_wall: float) -> dict:
     }
 
 
+def _remote_overhead(tmp: Path, warm_dir: Path) -> dict:
+    """Estimate what the remote tier costs a run that never asked for it.
+
+    A runner without ``--remote`` uses the plain local store, so the real
+    overhead is a single ``is None`` check per run; this estimate prices the
+    *worst plausible wiring* instead -- every cache read routed through a
+    remote-less :class:`TieredStore` delegation.  The per-read delegation
+    price (tiered get minus plain local get, timed over a hit artifact) is
+    multiplied by the store reads one warm serial run actually issues
+    (``STORE_STATS.reads`` delta) over that run's wall time.
+    """
+    from repro.store import STORE_STATS, ArtifactStore, TieredStore
+
+    local = ArtifactStore(tmp / "remote-probe")
+    digest = "d" * 16
+    local.put("bench", digest, {"v": 1})
+    tiered = TieredStore(local, remote=None)
+    iterations = 20_000
+    for store in (local, tiered):  # touch both paths before timing
+        store.get("bench", digest)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        local.get("bench", digest)
+    local_call = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tiered.get("bench", digest)
+    tiered_call = (time.perf_counter() - start) / iterations
+    delegation_seconds = max(0.0, tiered_call - local_call)
+
+    mark = STORE_STATS.snapshot()
+    runner = Runner(fast=True, cache_dir=warm_dir, jobs=1)
+    start = time.perf_counter()
+    runner.run_many(list(FAST_PERF_SUBSET))
+    warm_wall = time.perf_counter() - start
+    reads = STORE_STATS.delta(mark).get("reads", 0)
+
+    estimated = reads * delegation_seconds / max(warm_wall, 1e-9)
+    return {
+        "delegation_ns_per_read": round(delegation_seconds * 1e9, 1),
+        "reads_per_warm_run": reads,
+        "estimated_off_overhead": round(estimated, 6),
+        "max_off_overhead": MAX_REMOTE_OFF_OVERHEAD,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", default="auto", help="parallel worker count (default: auto)")
@@ -247,6 +302,7 @@ def main(argv=None) -> int:
         )
         tracing = _tracing_overhead(tmp, serial["wall_seconds"])
         faults = _faults_overhead(tmp, serial["wall_seconds"])
+        remote = _remote_overhead(tmp, tmp / "serial" / "trial1")
 
     identical = serial.pop("_deterministic_payload") == parallel.pop("_deterministic_payload")
     record = {
@@ -261,6 +317,7 @@ def main(argv=None) -> int:
         "results_identical_across_jobs": identical,
         "tracing": tracing,
         "faults": faults,
+        "remote": remote,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
@@ -282,6 +339,14 @@ def main(argv=None) -> int:
             f"ERROR: faults-off overhead estimate "
             f"{faults['estimated_off_overhead']:.4f} exceeds the "
             f"{MAX_FAULTS_OFF_OVERHEAD:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and remote["estimated_off_overhead"] >= MAX_REMOTE_OFF_OVERHEAD:
+        print(
+            f"ERROR: remote-off overhead estimate "
+            f"{remote['estimated_off_overhead']:.4f} exceeds the "
+            f"{MAX_REMOTE_OFF_OVERHEAD:.0%} budget",
             file=sys.stderr,
         )
         return 1

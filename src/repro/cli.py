@@ -11,7 +11,7 @@ Commands
     run-cost preview that resolves no models and computes nothing.
     ``--json`` emits only the exact machine-readable spec the service's
     ``POST /jobs`` accepts inline (round-trippable; no cell section).
-``run <experiment> [...] [--fast] [--jobs N] [--resume]``
+``run <experiment> [...] [--fast] [--jobs N] [--resume] [--remote URL]``
     Execute experiments through the :class:`~repro.pipeline.runner.Runner`,
     printing the paper-style table and writing ``results/<name>.txt`` and
     ``results/<name>.json``.  ``run all`` executes the whole catalog.
@@ -24,11 +24,15 @@ Commands
     ``run all`` computes each shared cell once.  Every run writes an
     incremental manifest of completed cells; after a crash (or a
     ``CellExecutionError``) ``--resume`` proves in the telemetry that only
-    unfinished cells are recomputed (see ``docs/faults.md``).
-``serve [--host H] [--port P] [--workers N] [--jobs N]``
+    unfinished cells are recomputed (see ``docs/faults.md``).  ``--remote``
+    layers a ``serve --share-store`` peer's artifact cache under this run
+    (fill-through reads, async publication; see ``docs/store-remote.md``).
+``serve [--host H] [--port P] [--workers N] [--jobs N] [--share-store]``
     Start the long-lived robustness-evaluation service: an HTTP API with a
     job queue in front of the same runner (see :mod:`repro.service`).
-``cache stats [--json]`` / ``cache gc [--budget SIZE] [--stale]`` /
+    ``--share-store`` additionally exposes the artifact-exchange endpoints
+    so ``run --remote`` clients can trade cached cells with this service.
+``cache stats [--json] [--remote URL]`` / ``cache gc [--budget SIZE] [--stale]`` /
 ``cache explain <digest>``
     Inspect and garbage-collect the content-addressed artifact store behind
     the cell cache (see :mod:`repro.store`).  ``stats`` includes a staleness
@@ -139,6 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
         "resumed in the telemetry",
     )
     run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cell-cache location (default: zoo cache)",
+    )
+    run.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="artifact-exchange peer (a `serve --share-store` base URL, e.g. "
+        "http://127.0.0.1:8642): local cache misses fill through from the "
+        "peer and computed cells publish back; a dead or lying peer "
+        "degrades to local-only compute with identical results",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress progress lines (tables still print)"
     )
 
@@ -173,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="artifact-store location (default: zoo cache)"
     )
     serve.add_argument(
+        "--share-store",
+        action="store_true",
+        help="expose the artifact-exchange endpoints (GET/PUT "
+        "/store/artifacts/...) so `run --remote` clients can trade cached "
+        "cells with this service",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
@@ -184,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true", help="emit raw JSON")
     stats.add_argument(
         "--cache-dir", default=None, help="store location (default: zoo cache)"
+    )
+    stats.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="also show a `serve --share-store` peer's store occupancy "
+        "(GET /store/stats on that URL)",
     )
     gc = cache_sub.add_parser(
         "gc", help="evict least-recently-read artifacts down to a byte budget"
@@ -289,10 +321,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = Runner(
         fast=args.fast,
         results_dir=args.results_dir,
+        cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=progress,
         jobs=args.jobs,
         resume=args.resume,
+        remote=args.remote,
     )
 
     def show(result) -> None:
@@ -322,6 +356,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if any(telemetry.faults.values()):
         survived = ", ".join(f"{k}={v}" for k, v in telemetry.faults.items() if v)
         print(f"# fault tolerance: {survived}")
+    if runner.remote is not None:
+        remote = telemetry.remote_totals()
+        print(
+            f"# remote store: {remote['hits']} hit(s) / {remote['misses']} miss(es) "
+            f"fetched, {remote['puts']} published, "
+            f"{remote['rejected_checksum'] + remote['rejected_meta']} rejected, "
+            f"{remote['timeouts'] + remote['errors']} transport error(s) "
+            f"via {runner.remote}"
+        )
     kernels = telemetry.snapshot().get("kernels", {})
     if kernels.get("fused_calls") or kernels.get("fallback_calls"):
         print(
@@ -356,6 +399,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         results_dir=args.results_dir,
         cache_dir=args.cache_dir,
         progress=progress,
+        share_store=args.share_store,
     )
 
 
@@ -371,6 +415,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         stats = store.stats()
         staleness = store_staleness(store)
         stats["staleness"] = staleness["totals"]
+        peer_stats = peer_error = peer_url = None
+        if args.remote:
+            from repro.store import RemoteStoreClient, RemoteStoreError
+
+            client = RemoteStoreClient(args.remote, retries=0)
+            peer_url = client.base_url
+            try:
+                peer_stats = client.remote_store_stats()
+            except RemoteStoreError as exc:
+                peer_error = str(exc)
+            stats["remote"] = {
+                "url": peer_url,
+                "stats": peer_stats,
+                "error": peer_error,
+            }
         if args.json:
             print(json.dumps(stats, indent=2))
             return 0
@@ -392,6 +451,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             + (" (stale: reclaim with `cache gc --stale`)" if stale else "")
         )
         print(f"leases:   {stats['active_leases']} active (TTL {stats['lease_ttl_seconds']:.0f}s)")
+        corrupt = stats.get("counters", {}).get("corrupt_unlinked", 0)
+        if corrupt:
+            print(
+                f"corrupt:  {corrupt} unreadable artifact(s) unlinked on read "
+                f"(this process)"
+            )
+        if peer_url is not None:
+            if peer_error is not None:
+                print(f"remote:   {peer_url} unreachable ({peer_error})")
+            else:
+                print(
+                    f"remote:   {peer_url}: {peer_stats.get('artifacts', 0)} artifacts "
+                    f"({peer_stats.get('bytes', 0) / 1e6:.2f} MB), "
+                    f"{peer_stats.get('active_leases', 0)} active lease(s)"
+                )
         for namespace, info in sorted(stats["namespaces"].items()):
             by_ns = staleness["namespaces"].get(
                 namespace, {"fresh": 0, "stale": 0, "unknown": 0}

@@ -33,6 +33,9 @@ from repro.faults.policy import (
     backoff_seconds,
     job_retries,
     lease_poll,
+    remote_breaker,
+    remote_retries,
+    remote_timeout,
     shard_retries,
     shard_timeout,
 )
@@ -51,6 +54,9 @@ __all__ = [
     "backoff_seconds",
     "job_retries",
     "lease_poll",
+    "remote_breaker",
+    "remote_retries",
+    "remote_timeout",
     "shard_retries",
     "shard_timeout",
 ]

@@ -46,6 +46,10 @@ FAULT_POINTS = {
     "store.lease_steal": "a writer's lease refresh finds its claim usurped",
     "kernel.build_fail": "fused-GEMM kernel construction raises once",
     "http.disconnect": "the service drops a connection before responding",
+    "remote.timeout": "a remote store call stalls past its request deadline",
+    "remote.error_5xx": "the remote store answers 500 instead of serving",
+    "remote.corrupt_body": "a fetched remote artifact body arrives corrupted",
+    "remote.reject_meta": "a fetched remote meta sidecar carries stale fingerprints",
 }
 
 #: how long an injected hang sleeps (seconds); ``REPRO_FAULT_HANG_SECONDS``
@@ -87,6 +91,10 @@ class FaultStats(ProcessCounters):
         "store_lease_steal",
         "kernel_build_fail",
         "http_disconnect",
+        "remote_timeout",
+        "remote_error_5xx",
+        "remote_corrupt_body",
+        "remote_reject_meta",
     )
 
 

@@ -30,6 +30,19 @@ DEFAULT_LEASE_POLL = (0.02, 0.25)
 #: default retry budget for service jobs that die on a retryable error
 DEFAULT_JOB_RETRIES = 1
 
+#: default per-request deadline for remote artifact-store calls (seconds)
+DEFAULT_REMOTE_TIMEOUT = 5.0
+
+#: default bounded retry budget per remote call (attempts = retries + 1);
+#: retries apply to transport errors, timeouts and 5xx answers -- never to
+#: a clean 404 (a miss is an answer, not a failure)
+DEFAULT_REMOTE_RETRIES = 2
+
+#: default circuit-breaker policy for the remote tier:
+#: (consecutive-failure threshold that opens it, cooldown seconds before a
+#: half-open probe is allowed)
+DEFAULT_REMOTE_BREAKER = (5, 30.0)
+
 
 def _float_env(name: str, default: Optional[float]) -> Optional[float]:
     raw = os.environ.get(name, "")
@@ -95,6 +108,52 @@ def lease_poll() -> Tuple[float, float]:
         except ValueError:
             start, cap = DEFAULT_LEASE_POLL
     return start, max(start, cap)
+
+
+def remote_timeout() -> float:
+    """Per-request deadline for remote store calls (``REPRO_REMOTE_TIMEOUT``).
+
+    Applies to every HTTP exchange with the remote artifact tier --
+    connect, send and read together.  Values <= 0 fall back to the default:
+    the remote tier is an optimisation, so "no deadline" is never a valid
+    policy for it.
+    """
+    value = _float_env("REPRO_REMOTE_TIMEOUT", None)
+    if value is None or value <= 0:
+        return DEFAULT_REMOTE_TIMEOUT
+    return value
+
+
+def remote_retries() -> int:
+    """Bounded retry budget per remote store call (``REPRO_REMOTE_RETRIES``).
+
+    Retried failures are transport errors, timeouts and 5xx responses, with
+    the same jittered exponential :func:`backoff_seconds` schedule the shard
+    retries use.  404 is a miss, not a failure, and is never retried.
+    """
+    return max(0, _int_env("REPRO_REMOTE_RETRIES", DEFAULT_REMOTE_RETRIES))
+
+
+def remote_breaker() -> Tuple[int, float]:
+    """Circuit-breaker policy ``(threshold, cooldown)`` for the remote tier.
+
+    ``REPRO_REMOTE_BREAKER`` accepts ``threshold`` or ``threshold:cooldown``
+    (e.g. ``3:10``): after ``threshold`` *consecutive* remote failures the
+    breaker opens and every remote call short-circuits to a local fallback;
+    after ``cooldown`` seconds one half-open probe is allowed through --
+    success closes the breaker, failure re-opens it for another cooldown.
+    """
+    raw = os.environ.get("REPRO_REMOTE_BREAKER", "")
+    threshold, cooldown = DEFAULT_REMOTE_BREAKER
+    if raw.strip():
+        parts = raw.split(":")
+        try:
+            threshold = max(1, int(parts[0]))
+            if len(parts) > 1 and parts[1]:
+                cooldown = max(0.0, float(parts[1]))
+        except ValueError:
+            threshold, cooldown = DEFAULT_REMOTE_BREAKER
+    return threshold, cooldown
 
 
 def job_retries() -> int:

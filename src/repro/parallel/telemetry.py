@@ -30,6 +30,14 @@ from repro.attacks.base import QUERY_STATS
 DIGEST_WIDTH = 12
 
 
+def _remote_mark() -> Dict[str, int]:
+    # lazy: repro.store imports repro.parallel.locks, so a top-level import
+    # here would close an import cycle through this package's __init__
+    from repro.store.remote import REMOTE_STATS
+
+    return REMOTE_STATS.snapshot()
+
+
 @dataclass
 class CellEvent:
     """One grid cell's execution record."""
@@ -68,6 +76,9 @@ class RunTelemetry:
     #: attack execution (evaluation traffic such as victim-selection scans is
     #: excluded by the counter's scope).
     query_mark: Dict[str, int] = field(default_factory=QUERY_STATS.snapshot)
+    #: remote artifact-tier counters at run start; :meth:`remote_totals`
+    #: reports the delta (all zeros on a local-only run)
+    remote_mark: Dict[str, int] = field(default_factory=_remote_mark)
     #: summed counter deltas returned by pool-worker shards
     worker_kernels: Dict[str, int] = field(default_factory=dict)
     worker_queries: Dict[str, int] = field(default_factory=dict)
@@ -77,8 +88,10 @@ class RunTelemetry:
     #: traced (``REPRO_TRACE``); ``None`` otherwise
     trace: Optional[Dict[str, Any]] = None
     #: fault-tolerance event counts for this run: shard retries, timeouts,
-    #: worker crashes, pool respawns, serial degradation, lease re-acquires
-    #: and manifest-resumed cells.  Zero across the board on a healthy run.
+    #: worker crashes, pool respawns, serial degradation, lease re-acquires,
+    #: manifest-resumed cells, and remote-tier degradation (calls that fell
+    #: back to local compute / foreign artifacts refused by the trust rules).
+    #: Zero across the board on a healthy run.
     faults: Dict[str, int] = field(
         default_factory=lambda: {
             "shard_retries": 0,
@@ -88,6 +101,8 @@ class RunTelemetry:
             "degraded_serial": 0,
             "lease_reacquired": 0,
             "cells_resumed": 0,
+            "remote_fallbacks": 0,
+            "remote_rejects": 0,
         }
     )
 
@@ -144,6 +159,16 @@ class RunTelemetry:
             totals[name] = totals.get(name, 0) + value
         return totals
 
+    def remote_totals(self) -> Dict[str, int]:
+        """This run's remote artifact-tier activity (process-local delta).
+
+        The remote tier lives in the planning process only -- pool workers
+        never talk to the peer -- so no worker folding is needed.
+        """
+        from repro.store.remote import REMOTE_STATS
+
+        return REMOTE_STATS.delta(self.remote_mark)
+
     def progress_line(self, event: Optional[CellEvent] = None) -> str:
         """Human-readable progress for one event against the run totals."""
         event = event or (self.events[-1] if self.events else None)
@@ -192,6 +217,7 @@ class RunTelemetry:
             "compute_seconds": round(self.compute_seconds, 4),
             "kernels": self.kernel_totals(),
             "attack_queries": self.attack_queries(),
+            "remote": self.remote_totals(),
             "worker_pids": sorted(self.worker_pids),
             "faults": dict(self.faults),
             "cells": [e.to_dict() for e in self.events],

@@ -209,6 +209,14 @@ class Runner:
         the store is counted as *resumed* in the run telemetry instead of an
         anonymous cache hit.  Requires ``results_dir`` and the cache; value
         bits are unaffected either way.
+    remote:
+        Base URL of a ``serve --share-store`` peer.  The cell cache becomes
+        a :class:`~repro.store.TieredStore`: local misses fill through from
+        the peer (after integrity + fingerprint verification) and computed
+        cells publish back asynchronously.  Purely an execution accelerator:
+        a dead, flapping or lying peer degrades to local-only compute with
+        byte-identical results (the degradation is counted in the run
+        telemetry, never raised).
     """
 
     def __init__(
@@ -221,6 +229,7 @@ class Runner:
         jobs: Union[int, str, None] = 1,
         shard_size: Optional[int] = None,
         resume: bool = False,
+        remote: Optional[str] = None,
     ):
         self.fast = bool(fast)
         self.results_dir = Path(results_dir) if results_dir is not None else None
@@ -233,8 +242,20 @@ class Runner:
         self.shard_size = attack_shard_size() if shard_size is None else max(1, int(shard_size))
         #: the multi-tenant artifact store backing the cell cache (namespace =
         #: cell kind); budget / lease TTL come from ``REPRO_STORE_BUDGET`` /
-        #: ``REPRO_STORE_LEASE_TTL``
-        self.store = ArtifactStore(self.cache_dir)
+        #: ``REPRO_STORE_LEASE_TTL``.  With a remote peer configured the
+        #: local store becomes the L1 tier of a TieredStore; pool workers
+        #: stay local-only (the remote tier lives in the planning process).
+        self.remote = str(remote) if remote else None
+        local_store = ArtifactStore(self.cache_dir)
+        if self.remote is not None:
+            from repro.store import RemoteStoreClient, TieredStore
+
+            tiered = TieredStore(local_store, RemoteStoreClient(self.remote))
+            # late-bound through self: each run() swaps in a fresh telemetry
+            tiered.on_fault = lambda name, n=1: self.telemetry.count_fault(name, n)
+            self.store = tiered
+        else:
+            self.store = local_store
         #: optional observer invoked with each :class:`CellEvent` as cells
         #: complete -- the service tier streams these to HTTP clients
         self.on_cell: Optional[Callable[[CellEvent], None]] = None
@@ -307,12 +328,30 @@ class Runner:
                 # totals (pool workers folded in), marked as such
                 kernel_delta = {"scope": "run", **self.telemetry.kernel_totals()}
                 query_delta = {"scope": "run", **self.telemetry.attack_queries()}
+                remote_delta = None
+                if self.remote is not None:
+                    # drain pending publications first so the recorded totals
+                    # cover the whole run, not a race with the publisher
+                    self.store.flush()
+                    remote_delta = {
+                        "scope": "run",
+                        "url": self.remote,
+                        **self.telemetry.remote_totals(),
+                    }
+                    self._log(
+                        f"  remote: {remote_delta['hits']} hit(s) / "
+                        f"{remote_delta['misses']} miss(es) / "
+                        f"{remote_delta['puts']} published via {self.remote}"
+                    )
                 results = []
                 for eplan in plan.experiments:
                     with TRACER.span("assemble", cat="runner", experiment=eplan.spec.name):
                         result = self._assemble(eplan, plan, outcomes)
                         result.telemetry["kernels"] = dict(kernel_delta)
                         result.telemetry["attack_queries"] = dict(query_delta)
+                        if remote_delta is not None:
+                            result.telemetry["remote"] = dict(remote_delta)
+                            result.telemetry["faults"] = dict(self.telemetry.faults)
                         if self.results_dir is not None:
                             result.write(self.results_dir)
                     if on_result is not None:
@@ -321,6 +360,10 @@ class Runner:
                 if self._manifest is not None:
                     self._manifest.finish()
         finally:
+            if self.remote is not None:
+                # a failed run still drains its publish queue (best effort):
+                # cells computed before the failure stay shareable
+                self.store.flush()
             merged = None
             if scope is not None and self.results_dir is not None:
                 merged = self.results_dir / f"{label}.trace.ndjson"

@@ -19,6 +19,10 @@ cell) and exposes the experiment pipeline over plain HTTP:
 * ``GET  /results/{name}`` -- a finished experiment's JSON result, served
   straight from the results directory (instant for anything ever computed)
 * ``POST /store/gc`` -- run artifact-store eviction on demand
+* ``GET/PUT /store/artifacts/{namespace}/{digest}`` (+ ``HEAD``, and the
+  ``.../meta`` sidecar) -- the artifact-exchange surface behind
+  ``serve --share-store``; bodies travel with an ``X-Repro-Sha256``
+  integrity header both ways (see ``docs/store-remote.md``)
 
 Everything is stdlib: the HTTP layer is :mod:`repro.service.http`, jobs run
 on :mod:`repro.service.jobs`, artifacts live in :mod:`repro.store`.
@@ -62,12 +66,14 @@ class Service:
         jobs: Union[int, str, None] = 1,
         fast_default: bool = False,
         progress=None,
+        share_store: bool = False,
     ):
         self.results_dir = Path(results_dir)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.default_jobs = jobs
         self.fast_default = bool(fast_default)
         self.progress = progress
+        self.share_store = bool(share_store)
         self.store = ArtifactStore(
             self.cache_dir if self.cache_dir is not None else CACHE_DIR / "pipeline"
         )
@@ -196,6 +202,76 @@ class Service:
             budget = parse_size(payload.get("budget")) if "budget" in payload else None
             return self.store.gc(budget=budget)
 
+        if self.share_store:
+            self._register_artifact_routes()
+
+    def _register_artifact_routes(self) -> None:
+        """The ``--share-store`` artifact-exchange surface.
+
+        Not registered at all unless sharing is enabled: a service that was
+        not asked to share its cache answers 404 here, indistinguishable
+        from a service without the feature.  Bodies carry an
+        ``X-Repro-Sha256`` header of the exact bytes in both directions; a
+        PUT whose body does not hash to the client's claim is refused (400).
+        """
+        from repro.store.remote import CHECKSUM_HEADER, body_checksum
+
+        route = self.http.route
+
+        def checksummed(value: Any) -> Response:
+            text = json.dumps(value, sort_keys=True)
+            return Response(
+                text=text,
+                content_type="application/json",
+                headers={CHECKSUM_HEADER: body_checksum(text.encode("utf-8"))},
+            )
+
+        @route("GET", "/store/artifacts/{namespace}/{digest}")
+        def artifact_get(request: Request, namespace: str, digest: str):
+            ns, dg = self._artifact_key(namespace, digest)
+            value = self.store.get(ns, dg)
+            if value is None:
+                raise HttpError(404, f"no artifact {ns}/{dg}")
+            return checksummed(value)
+
+        @route("GET", "/store/artifacts/{namespace}/{digest}/meta")
+        def artifact_meta(request: Request, namespace: str, digest: str):
+            ns, dg = self._artifact_key(namespace, digest)
+            meta = self.store.get_meta(ns, dg)
+            if meta is None:
+                raise HttpError(404, f"no meta sidecar for {ns}/{dg}")
+            return checksummed(meta)
+
+        @route("PUT", "/store/artifacts/{namespace}/{digest}")
+        def artifact_put(request: Request, namespace: str, digest: str):
+            ns, dg = self._artifact_key(namespace, digest)
+            claimed = request.headers.get(CHECKSUM_HEADER.lower())
+            if not claimed or claimed != body_checksum(request.body):
+                raise HttpError(
+                    400, f"body checksum mismatch (or {CHECKSUM_HEADER} missing)"
+                )
+            envelope = request.json()
+            if not isinstance(envelope, dict) or "value" not in envelope:
+                raise HttpError(400, 'PUT body must be {"value": ..., "meta"?: {...}}')
+            meta = envelope.get("meta")
+            if meta is not None and not isinstance(meta, dict):
+                raise HttpError(400, "meta sidecar must be a JSON object")
+            self.store.put(ns, dg, envelope["value"], meta=meta)
+            return Response(201, {"stored": True, "namespace": ns, "digest": dg})
+
+    @staticmethod
+    def _artifact_key(namespace: str, digest: str) -> Tuple[str, str]:
+        """Validate route params before they touch the filesystem.
+
+        Route ``{param}`` segments arrive percent-decoded, so a crafted
+        ``%2F`` or ``%2E%2E`` could otherwise smuggle separators into store
+        paths; only plain single-segment names get through.
+        """
+        for label, part in (("namespace", namespace), ("digest", digest)):
+            if not _NAME_RE.match(part) or part.startswith("."):
+                raise HttpError(400, f"invalid artifact {label}: {part!r}")
+        return namespace, digest
+
     def _job(self, job_id: str):
         job = self.queue.jobs.get(job_id)
         if job is None:
@@ -293,6 +369,31 @@ class Service:
             "Total seconds spent waiting on foreign store leases.",
             store_counters.get("lease_wait_us", 0) / 1e6,
         )
+
+        from repro.store import BREAKER_STATES, REMOTE_STATS, all_breakers
+
+        out.counter(
+            "repro_remote_events_total",
+            "Remote artifact-tier client events since process start "
+            "(zero unless this process talks to a --share-store peer).",
+            samples=[
+                ({"event": name}, value)
+                for name, value in sorted(REMOTE_STATS.snapshot().items())
+            ],
+        )
+        breaker_samples = []
+        for breaker in all_breakers():
+            current, _failures = breaker.snapshot()
+            breaker_samples.extend(
+                ({"peer": breaker.name, "state": state}, 1 if state == current else 0)
+                for state in BREAKER_STATES
+            )
+        if breaker_samples:
+            out.gauge(
+                "repro_remote_breaker_state",
+                "Remote-peer circuit-breaker state (1 on the current state).",
+                samples=breaker_samples,
+            )
 
         from repro.faults import FAULT_POINTS, FAULT_STATS
 

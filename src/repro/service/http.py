@@ -17,6 +17,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import json
+import os
 import sys
 import time
 import traceback
@@ -26,9 +27,17 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.faults import FAULTS
 
-#: request hygiene limits -- a misbehaving client cannot balloon the process
+#: request hygiene limits -- a misbehaving client cannot balloon the process.
+#: ``REPRO_HTTP_MAX_BODY`` overrides the body cap (sizes like ``16M`` work);
+#: the header cap is fixed.
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: idle-read deadline (seconds) for request parsing: a client that connects
+#: and then stalls mid-request-line, mid-headers or mid-body is dropped after
+#: this long instead of holding the connection open forever.
+#: ``REPRO_HTTP_READ_TIMEOUT`` overrides it; values <= 0 disable the guard.
+DEFAULT_READ_TIMEOUT = 30.0
 
 STATUS_PHRASES = {
     200: "OK",
@@ -38,10 +47,36 @@ STATUS_PHRASES = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
+
+
+def max_body_bytes() -> int:
+    """The request-body cap (``REPRO_HTTP_MAX_BODY``, e.g. ``16M``)."""
+    raw = os.environ.get("REPRO_HTTP_MAX_BODY", "")
+    if raw.strip():
+        from repro.store import parse_size
+
+        try:
+            value = parse_size(raw)
+        except ValueError:
+            value = None
+        if value:
+            return int(value)
+    return MAX_BODY_BYTES
+
+
+def read_timeout() -> Optional[float]:
+    """The per-read idle deadline (``REPRO_HTTP_READ_TIMEOUT`` seconds)."""
+    raw = os.environ.get("REPRO_HTTP_READ_TIMEOUT", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_READ_TIMEOUT
+    return None if value <= 0 else value
 
 
 class HttpError(Exception):
@@ -83,7 +118,9 @@ class Response:
     content_type: Optional[str] = None
     headers: Dict[str, str] = field(default_factory=dict)
 
-    def encode(self) -> bytes:
+    def encode(self, head_only: bool = False) -> bytes:
+        """Wire bytes; ``head_only`` keeps the headers (with the true
+        ``Content-Length``) and drops the body -- HEAD semantics."""
         if self.text is not None:
             body = self.text.encode("utf-8")
             content_type = self.content_type or "text/plain; charset=utf-8"
@@ -98,7 +135,8 @@ class Response:
             "Connection: close",
         ]
         head.extend(f"{k}: {v}" for k, v in self.headers.items())
-        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+        wire = ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+        return wire if head_only else wire + body
 
 
 #: a handler returns a Response (or JSON-able payload), or an async iterator
@@ -163,13 +201,30 @@ class HttpServer:
             if route.method == method:
                 return route.handler, params
             allowed.append(route.method)
+        if method == "HEAD" and "GET" in allowed:
+            # HEAD is answered by the GET handler; _serve_connection strips
+            # the body and keeps the headers (true Content-Length included)
+            return self._match("GET", path)
         if allowed:
             raise HttpError(405, f"{method} not allowed here (try {sorted(set(allowed))})")
         raise HttpError(404, f"no such endpoint: {path}")
 
     async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
+        deadline = read_timeout()
+
+        async def read_step(coro):
+            # per-read idle guard: every readline/readexactly must make
+            # progress within the deadline or the request is abandoned --
+            # a stalled client cannot pin a connection handler forever
+            if deadline is None:
+                return await coro
+            try:
+                return await asyncio.wait_for(coro, timeout=deadline)
+            except asyncio.TimeoutError:
+                raise HttpError(408, f"request read stalled past {deadline:g}s") from None
+
         try:
-            request_line = await reader.readline()
+            request_line = await read_step(reader.readline())
         except (ConnectionError, asyncio.LimitOverrunError):
             return None
         if not request_line.strip():
@@ -181,7 +236,7 @@ class HttpServer:
         headers: Dict[str, str] = {}
         total = len(request_line)
         while True:
-            line = await reader.readline()
+            line = await read_step(reader.readline())
             total += len(line)
             if total > MAX_HEADER_BYTES:
                 raise HttpError(413, "headers too large")
@@ -196,9 +251,10 @@ class HttpServer:
                 n = int(length)
             except ValueError:
                 raise HttpError(400, "malformed Content-Length")
-            if n > MAX_BODY_BYTES:
-                raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
-            body = await reader.readexactly(n)
+            cap = max_body_bytes()
+            if n > cap:
+                raise HttpError(413, f"body exceeds {cap} bytes")
+            body = await read_step(reader.readexactly(n))
         split = urlsplit(target)
         query = dict(parse_qsl(split.query, keep_blank_values=True))
         return Request(
@@ -247,7 +303,8 @@ class HttpServer:
                 if not isinstance(result, Response):
                     result = Response(payload=result)
                 status = result.status
-                writer.write(result.encode())
+                head_only = request is not None and request.method == "HEAD"
+                writer.write(result.encode(head_only=head_only))
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to salvage

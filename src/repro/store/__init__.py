@@ -1,0 +1,64 @@
+"""repro.store -- the artifact store, local tier and remote exchange.
+
+Split across four modules, one per concern:
+
+* :mod:`repro.store.local` -- :class:`ArtifactStore`, the on-disk
+  content-addressed store (optimistic reads, writer leases, LRU eviction)
+  every pipeline client shares;
+* :mod:`repro.store.breaker` -- :class:`CircuitBreaker`, the
+  closed/open/half-open availability gate in front of every remote call
+  (``REPRO_REMOTE_BREAKER``);
+* :mod:`repro.store.remote` -- :class:`RemoteStoreClient`, the stdlib HTTP
+  client for the artifact-exchange endpoints a ``serve --share-store``
+  service exposes, with per-request timeouts, bounded jittered retries and
+  body checksums (``REPRO_REMOTE_TIMEOUT`` / ``REPRO_REMOTE_RETRIES``);
+* :mod:`repro.store.tiered` -- :class:`TieredStore`, the local(L1)+remote(L2)
+  composition behind ``run --remote URL``: reads fill through after
+  integrity + fingerprint verification, writes publish asynchronously, and
+  a dead or flapping remote degrades to local-only compute -- byte-identical
+  results, never an error.
+
+``from repro.store import ArtifactStore`` (and friends) keeps working: the
+historical single-module surface is re-exported here.  See
+``docs/store-remote.md`` for the exchange protocol and trust rules.
+"""
+
+from repro.store.breaker import BREAKER_STATES, CircuitBreaker, all_breakers
+from repro.store.local import (
+    DEFAULT_LEASE_TTL,
+    STORE_STATS,
+    ArtifactStore,
+    Lease,
+    StoreStats,
+    parse_size,
+)
+from repro.store.remote import (
+    REMOTE_STATS,
+    RemoteRejected,
+    RemoteStoreClient,
+    RemoteStoreError,
+    RemoteStats,
+    RemoteUnavailable,
+    body_checksum,
+)
+from repro.store.tiered import TieredStore
+
+__all__ = [
+    "ArtifactStore",
+    "Lease",
+    "StoreStats",
+    "STORE_STATS",
+    "parse_size",
+    "DEFAULT_LEASE_TTL",
+    "CircuitBreaker",
+    "BREAKER_STATES",
+    "all_breakers",
+    "RemoteStoreClient",
+    "RemoteStoreError",
+    "RemoteUnavailable",
+    "RemoteRejected",
+    "RemoteStats",
+    "REMOTE_STATS",
+    "body_checksum",
+    "TieredStore",
+]

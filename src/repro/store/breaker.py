@@ -1,0 +1,156 @@
+"""The remote tier's availability gate: a closed/open/half-open breaker.
+
+Every call to the remote artifact store passes through one
+:class:`CircuitBreaker`.  The state machine is the classic one, written out
+explicitly (every transition has a name and a counter):
+
+::
+
+          success                failure (consecutive >= threshold)
+        +---------+            +----------------------------------+
+        |         v            |                                  v
+        +------ CLOSED --------+                                OPEN
+                  ^                                               |
+                  | probe succeeds                 cooldown lapsed|
+                  |                                               v
+                  +--------------------------- HALF_OPEN <--------+
+                                                  |
+                                                  | probe fails
+                                                  +-> OPEN (fresh cooldown)
+
+* **closed** -- calls flow; each failure bumps a consecutive-failure count,
+  each success resets it.  Reaching the threshold opens the breaker.
+* **open** -- every call is refused without touching the network
+  (:meth:`CircuitBreaker.allow` returns ``False``), so a dead remote costs a
+  clock read per call instead of a timeout per call.  After ``cooldown``
+  seconds the next caller is admitted as the half-open probe.
+* **half-open** -- exactly one probe is in flight; other callers are still
+  refused.  The probe's success closes the breaker, its failure re-opens it
+  for a fresh cooldown.
+
+Policy comes from ``REPRO_REMOTE_BREAKER`` (``threshold[:cooldown]``,
+parsed by :func:`repro.faults.policy.remote_breaker`).  Transitions are
+counted into :data:`repro.store.remote.REMOTE_STATS` by the caller and the
+current state of every live breaker is exported on the service's
+``/metrics`` (``repro_remote_breaker_state``) via :func:`all_breakers`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults import remote_breaker
+
+#: the three states, in the order the metrics enum renders them
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: every breaker constructed in this process (weakly held), for /metrics
+_LIVE: "weakref.WeakSet[CircuitBreaker]" = weakref.WeakSet()
+
+
+def all_breakers() -> List["CircuitBreaker"]:
+    """The live breakers of this process, stably ordered by name."""
+    return sorted(_LIVE, key=lambda b: b.name)
+
+
+class CircuitBreaker:
+    """One remote peer's availability state (thread-safe).
+
+    Parameters
+    ----------
+    name:
+        Stable identity for metrics labels -- the remote's base URL.
+    threshold / cooldown:
+        ``None`` (default) reads the ``REPRO_REMOTE_BREAKER`` policy.
+    clock:
+        Injectable monotonic clock (tests); defaults to ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        name: str = "remote",
+        threshold: Optional[int] = None,
+        cooldown: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        policy_threshold, policy_cooldown = remote_breaker()
+        self.name = str(name)
+        self.threshold = policy_threshold if threshold is None else max(1, int(threshold))
+        self.cooldown = policy_cooldown if cooldown is None else max(0.0, float(cooldown))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0  # consecutive, while closed
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: observer called with (old_state, new_state) on every transition;
+        #: used by the client to count breaker_opened/half_open/closed.
+        #: Must never raise (it runs under the breaker lock).
+        self.on_transition: Optional[Callable[[str, str], None]] = None
+        _LIVE.add(self)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def state(self) -> str:
+        """The current state, with the open->half_open lapse applied lazily."""
+        with self._lock:
+            self._lapse_locked()
+            return self._state
+
+    def snapshot(self) -> Tuple[str, int]:
+        """``(state, consecutive_failures)`` for stats reporting."""
+        with self._lock:
+            self._lapse_locked()
+            return self._state, self._failures
+
+    # ------------------------------------------------------------- decisions
+    def allow(self) -> bool:
+        """Whether the caller may issue a remote call right now.
+
+        In ``half_open`` exactly one caller is admitted (the probe); everyone
+        else is refused until the probe resolves via :meth:`record_success`
+        or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._lapse_locked()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A remote call completed cleanly: reset failures, close the breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            if self._state != "closed":
+                self._transition_locked("closed")
+
+    def record_failure(self) -> None:
+        """A remote call failed (after its own retries were exhausted)."""
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open":
+                # the probe failed: straight back to open, fresh cooldown
+                self._probe_inflight = False
+                self._opened_at = self._clock()
+                self._transition_locked("open")
+            elif self._state == "closed" and self._failures >= self.threshold:
+                self._opened_at = self._clock()
+                self._transition_locked("open")
+
+    # -------------------------------------------------------------- internals
+    def _lapse_locked(self) -> None:
+        if self._state == "open" and self._clock() - self._opened_at >= self.cooldown:
+            self._probe_inflight = False
+            self._transition_locked("half_open")
+
+    def _transition_locked(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self.on_transition is not None:
+            self.on_transition(old, new_state)

@@ -55,6 +55,7 @@ class StoreStats(ProcessCounters):
     """
 
     _FIELDS = (
+        "reads",
         "lease_acquires",
         "lease_busy",
         "stale_takeovers",
@@ -63,6 +64,7 @@ class StoreStats(ProcessCounters):
         "evictions",
         "evicted_bytes",
         "gc_runs",
+        "corrupt_unlinked",
     )
 
 
@@ -211,10 +213,14 @@ class ArtifactStore:
         """Optimistic lock-free read: the artifact value, or ``None``.
 
         Atomic publication means the file is either absent or complete --
-        no lock is taken.  A corrupt artifact (pre-atomic-writes leftovers)
-        is removed and treated as absent.  Successful reads touch the file's
-        mtime so :meth:`gc` evicts in least-recently-*read* order.
+        no lock is taken.  A corrupt artifact (pre-atomic-writes leftovers,
+        a torn foreign write) is removed and treated as absent -- and counted
+        (``StoreStats.corrupt_unlinked``), so the quiet data loss shows up in
+        ``cache stats`` and the service's ``/metrics`` instead of vanishing.
+        Successful reads touch the file's mtime so :meth:`gc` evicts in
+        least-recently-*read* order.
         """
+        STORE_STATS.reads += 1
         path = self.path(namespace, digest)
         try:
             value = json.loads(path.read_text())
@@ -223,6 +229,7 @@ class ArtifactStore:
         except (ValueError, OSError):
             try:
                 path.unlink()
+                STORE_STATS.corrupt_unlinked += 1
             except OSError:
                 pass
             return None

@@ -1,0 +1,340 @@
+"""HTTP client for the artifact-exchange endpoints (``serve --share-store``).
+
+One :class:`RemoteStoreClient` talks to one peer service exposing the
+``/store/artifacts/{namespace}/{digest}`` endpoints (see
+``docs/store-remote.md`` for the wire protocol).  The client is built so the
+remote tier can *never* make a run worse than local-only execution:
+
+* **Every call has a deadline** (``REPRO_REMOTE_TIMEOUT``) -- connect, send
+  and read together; there is no "no timeout" setting for the remote tier.
+* **Bounded retries with jittered exponential backoff**
+  (``REPRO_REMOTE_RETRIES``, the shard-retry :func:`backoff_seconds`
+  schedule) for transport errors, timeouts and 5xx answers.  A 404 is a
+  *miss*, not a failure: it is answered immediately and never retried.
+* **A circuit breaker** (:class:`repro.store.breaker.CircuitBreaker`) in
+  front of every operation: once a peer has failed ``threshold`` operations
+  in a row, calls short-circuit locally (:class:`RemoteUnavailable`) for the
+  cooldown instead of eating a timeout each, then a single half-open probe
+  decides whether to close again.
+* **Wire integrity**: artifact and sidecar bodies travel with an
+  ``X-Repro-Sha256`` header; the client re-hashes the exact received bytes
+  and rejects on mismatch (or on a missing header) -- a rejected body is a
+  counted miss, never an exception.
+
+Transport is stdlib :mod:`http.client`, one connection per request (the
+service speaks ``Connection: close``).  Fault points ``remote.timeout``,
+``remote.error_5xx`` and ``remote.corrupt_body`` are injected here, keyed so
+retries draw fresh coins (see :mod:`repro.faults.injector`);
+``remote.reject_meta`` garbles a fetched sidecar's fingerprint tokens so the
+:class:`~repro.store.tiered.TieredStore` verification layer must catch it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import quote, urlsplit
+
+from repro.counters import ProcessCounters
+from repro.faults import FAULTS, backoff_seconds, remote_retries, remote_timeout
+from repro.store.breaker import CircuitBreaker
+
+#: the integrity header carried by every artifact/sidecar body (both ways)
+CHECKSUM_HEADER = "X-Repro-Sha256"
+
+
+def body_checksum(data: bytes) -> str:
+    """The wire-integrity digest of an exact body: sha256 hex."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class RemoteStats(ProcessCounters):
+    """Process-level remote-tier counters (same contract as STORE_STATS).
+
+    ``rejected_checksum`` / ``rejected_meta`` count foreign artifacts the
+    trust rules refused; ``breaker_open_skips`` counts calls short-circuited
+    without touching the network; the ``breaker_*`` transition counters make
+    the state machine's history auditable from ``/metrics``.
+    """
+
+    _FIELDS = (
+        "gets",
+        "hits",
+        "misses",
+        "puts",
+        "put_failures",
+        "rejected_checksum",
+        "rejected_meta",
+        "errors",
+        "timeouts",
+        "retries",
+        "breaker_open_skips",
+        "breaker_opened",
+        "breaker_half_open",
+        "breaker_closed",
+    )
+
+
+#: process-wide remote-tier counters (snapshot/delta like STORE_STATS)
+REMOTE_STATS = RemoteStats()
+
+
+class RemoteStoreError(Exception):
+    """A remote operation failed for good (retry budget exhausted)."""
+
+
+class RemoteUnavailable(RemoteStoreError):
+    """The breaker is open: the call was refused without touching the network."""
+
+
+class RemoteRejected(RemoteStoreError):
+    """A response arrived but failed the integrity rules (checksum/parse)."""
+
+
+class RemoteStoreClient:
+    """Artifact-exchange client for one ``serve --share-store`` peer.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (an optional path prefix is honoured).
+    timeout / retries:
+        ``None`` (default) reads ``REPRO_REMOTE_TIMEOUT`` /
+        ``REPRO_REMOTE_RETRIES``.
+    breaker:
+        Injectable :class:`CircuitBreaker` (tests); by default one is built
+        for this client under the ``REPRO_REMOTE_BREAKER`` policy.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        split = urlsplit(base_url if "//" in base_url else f"//{base_url}", scheme="http")
+        if split.scheme != "http":
+            raise ValueError(f"remote store URL must be http://, got {base_url!r}")
+        if not split.hostname:
+            raise ValueError(f"remote store URL has no host: {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.prefix = split.path.rstrip("/")
+        self.base_url = f"http://{self.host}:{self.port}{self.prefix}"
+        self.timeout = remote_timeout() if timeout is None else max(0.001, float(timeout))
+        self.retries = remote_retries() if retries is None else max(0, int(retries))
+        self.breaker = breaker if breaker is not None else CircuitBreaker(name=self.base_url)
+        self.breaker.on_transition = self._count_transition
+
+    @staticmethod
+    def _count_transition(_old: str, new: str) -> None:
+        field = {
+            "open": "breaker_opened",
+            "half_open": "breaker_half_open",
+            "closed": "breaker_closed",
+        }[new]
+        setattr(REMOTE_STATS, field, getattr(REMOTE_STATS, field) + 1)
+
+    # -------------------------------------------------------------- transport
+    def _artifact_path(self, namespace: str, digest: str) -> str:
+        return f"/store/artifacts/{quote(str(namespace), safe='')}/{quote(str(digest), safe='')}"
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]],
+        attempt: int,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange (or an injected failure standing in for one)."""
+        key = f"{method}:{path}:{attempt}"
+        if FAULTS.should_inject("remote.timeout", key):
+            raise socket.timeout(f"injected remote.timeout at {key}")
+        if FAULTS.should_inject("remote.error_5xx", key):
+            return 500, {}, b'{"error": "injected remote.error_5xx"}'
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(method, self.prefix + path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+            rheaders = {k.lower(): v for k, v in response.getheaders()}
+            status = response.status
+        finally:
+            conn.close()
+        # corrupt the body *after* a successful exchange and keyed without the
+        # attempt: the damage is deterministic per operation, and the reject
+        # path (count + recompute locally) is what gets exercised, not a retry
+        if status == 200 and payload and FAULTS.should_inject(
+            "remote.corrupt_body", f"{method}:{path}"
+        ):
+            payload = payload[::-1]
+        return status, rheaders, payload
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """The policy wrapper: breaker gate, bounded retries, backoff.
+
+        Returns any sub-5xx response as-is (404 is an answer).  Raises
+        :class:`RemoteUnavailable` when the breaker refuses the call and
+        :class:`RemoteStoreError` when the retry budget runs out.
+        """
+        if not self.breaker.allow():
+            REMOTE_STATS.breaker_open_skips += 1
+            raise RemoteUnavailable(
+                f"remote store {self.base_url} circuit breaker is open"
+            )
+        attempt = 0
+        while True:
+            failure: str
+            try:
+                status, rheaders, payload = self._attempt(method, path, body, headers, attempt)
+            except (socket.timeout, TimeoutError) as exc:
+                REMOTE_STATS.timeouts += 1
+                failure = f"timeout after {self.timeout}s ({exc})"
+            except (OSError, http.client.HTTPException) as exc:
+                REMOTE_STATS.errors += 1
+                failure = str(exc) or type(exc).__name__
+            else:
+                if status < 500:
+                    self.breaker.record_success()
+                    return status, rheaders, payload
+                REMOTE_STATS.errors += 1
+                failure = f"HTTP {status}"
+            if attempt >= self.retries:
+                self.breaker.record_failure()
+                raise RemoteStoreError(
+                    f"{method} {self.base_url}{path} failed after "
+                    f"{attempt + 1} attempt(s): {failure}"
+                )
+            attempt += 1
+            REMOTE_STATS.retries += 1
+            time.sleep(backoff_seconds(attempt))
+
+    # ------------------------------------------------------------- operations
+    def _verified_json(self, rheaders: Dict[str, str], payload: bytes) -> Any:
+        """Parse a checksummed body; :class:`RemoteRejected` when it fails.
+
+        A missing checksum header counts as a failure too: a peer that does
+        not vouch for its bytes is not trusted with cache contents.
+        """
+        expected = rheaders.get(CHECKSUM_HEADER.lower())
+        if not expected or expected != body_checksum(payload):
+            REMOTE_STATS.rejected_checksum += 1
+            raise RemoteRejected("body checksum mismatch (or peer sent none)")
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            REMOTE_STATS.rejected_checksum += 1
+            raise RemoteRejected(f"checksummed body is not valid JSON: {exc}") from None
+
+    def fetch(self, namespace: str, digest: str) -> Optional[Any]:
+        """The artifact's value, or ``None`` when the peer does not have it.
+
+        Raises :class:`RemoteRejected` on an integrity failure and
+        :class:`RemoteStoreError` on transport failure -- callers (the
+        tiered store) translate both into a counted local fallback.
+        """
+        REMOTE_STATS.gets += 1
+        status, rheaders, payload = self._call("GET", self._artifact_path(namespace, digest))
+        if status != 200:
+            REMOTE_STATS.misses += 1
+            return None
+        value = self._verified_json(rheaders, payload)
+        REMOTE_STATS.hits += 1
+        return value
+
+    def fetch_meta(self, namespace: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The artifact's provenance sidecar, or ``None`` when it has none.
+
+        Raises :class:`RemoteRejected` when the sidecar arrives damaged --
+        an artifact whose provenance cannot be read is not trusted at all.
+        """
+        status, rheaders, payload = self._call(
+            "GET", self._artifact_path(namespace, digest) + "/meta"
+        )
+        if status != 200:
+            return None
+        meta = self._verified_json(rheaders, payload)
+        if not isinstance(meta, dict):
+            raise RemoteRejected("meta sidecar is not a JSON object")
+        if FAULTS.should_inject("remote.reject_meta", f"{namespace}:{digest}"):
+            # garble the recorded fingerprint tokens: the sidecar now claims
+            # the artifact was computed under dependencies that never existed,
+            # and the tiered store's verification must refuse to trust it
+            deps = meta.get("deps")
+            if isinstance(deps, dict):
+                meta = dict(meta)
+                meta["deps"] = {key: "0" * 12 for key in deps}
+        return meta
+
+    def head(self, namespace: str, digest: str) -> bool:
+        """Existence probe (no body transferred)."""
+        status, _headers, _payload = self._call("HEAD", self._artifact_path(namespace, digest))
+        return status == 200
+
+    def publish(
+        self,
+        namespace: str,
+        digest: str,
+        value: Any,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """PUT one artifact (+ sidecar) to the peer; ``True`` if it stored."""
+        envelope: Dict[str, Any] = {"value": value}
+        if meta is not None:
+            envelope["meta"] = meta
+        body = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        status, _headers, _payload = self._call(
+            "PUT",
+            self._artifact_path(namespace, digest),
+            body=body,
+            headers={
+                "Content-Type": "application/json",
+                CHECKSUM_HEADER: body_checksum(body),
+            },
+        )
+        ok = status in (200, 201)
+        if ok:
+            REMOTE_STATS.puts += 1
+        else:
+            REMOTE_STATS.put_failures += 1
+        return ok
+
+    def remote_store_stats(self) -> Dict[str, Any]:
+        """The peer's ``GET /store/stats`` payload (``cache stats --remote``)."""
+        status, _headers, payload = self._call("GET", "/store/stats")
+        if status != 200:
+            raise RemoteStoreError(
+                f"GET {self.base_url}/store/stats answered HTTP {status}"
+            )
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteStoreError(f"unparseable /store/stats payload: {exc}") from None
+
+    def stats(self) -> Dict[str, Any]:
+        """This client's local view: policy, breaker state, counters."""
+        state, failures = self.breaker.snapshot()
+        return {
+            "url": self.base_url,
+            "timeout_seconds": self.timeout,
+            "retries": self.retries,
+            "breaker": {
+                "state": state,
+                "consecutive_failures": failures,
+                "threshold": self.breaker.threshold,
+                "cooldown_seconds": self.breaker.cooldown,
+            },
+            "counters": REMOTE_STATS.snapshot(),
+        }

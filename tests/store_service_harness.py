@@ -1,0 +1,74 @@
+"""Shared test harness: a live ``--share-store`` service on a daemon thread.
+
+Used by the store conformance and remote-tier suites; mirrors the
+``ServiceThread`` harness in ``test_service.py`` but defaults to
+``share_store=True`` and exposes raw-byte HTTP helpers (the remote-store
+tests care about exact wire bytes and headers, not parsed JSON).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.service import Service
+
+
+class StoreServiceThread:
+    """A live artifact-sharing service on an ephemeral port."""
+
+    def __init__(self, root, share_store=True, **kwargs):
+        self.service = Service(
+            results_dir=root / "results",
+            cache_dir=root / "cells",
+            workers=1,
+            share_store=share_store,
+            **kwargs,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "service failed to start"
+
+    def _run(self):
+        asyncio.set_event_loop(self._loop)
+        self._server = self._loop.run_until_complete(self.service.start(port=0))
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.host, self.port = host, port
+        self.base = f"http://{host}:{port}"
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self.service.close())
+        self._server.close()
+        self._loop.run_until_complete(self._server.wait_closed())
+        self._loop.close()
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    @property
+    def store(self):
+        """The service's own (local) artifact store."""
+        return self.service.store
+
+    # ------------------------------------------------------------- clients
+    def request(self, method, path, body=None, headers=None, timeout=30):
+        """One raw exchange: ``(status, headers dict, body bytes)``."""
+        req = urllib.request.Request(
+            self.base + path, data=body, headers=headers or {}, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as err:
+            return err.code, dict(err.headers), err.read()
+
+    def get_json(self, path, timeout=30):
+        status, _headers, payload = self.request("GET", path, timeout=timeout)
+        assert status == 200, f"GET {path} -> {status}: {payload!r}"
+        return json.loads(payload)

@@ -1,0 +1,248 @@
+"""Store conformance: ``TieredStore`` honours the ``ArtifactStore`` contract.
+
+The same put/get/lease/remove/gc semantics are asserted against both store
+implementations through one parameterized fixture -- the Runner swaps one
+for the other based on ``--remote``, so any behavioural drift between them
+is a correctness bug.  The tiered variant runs against a *live*
+``--share-store`` service (real sockets, synchronous publication), and a
+second block covers the semantics only the tiered store has: fill-through,
+integrity rejection, fingerprint rejection and breaker-open fallback.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.faults import FAULTS
+from repro.store import (
+    REMOTE_STATS,
+    ArtifactStore,
+    CircuitBreaker,
+    RemoteStoreClient,
+    TieredStore,
+)
+from store_service_harness import StoreServiceThread
+
+
+@pytest.fixture(scope="module")
+def share_service(tmp_path_factory):
+    service = StoreServiceThread(tmp_path_factory.mktemp("share-service"))
+    yield service
+    service.close()
+
+
+@pytest.fixture(params=["local", "tiered"])
+def store(request, tmp_path, share_service):
+    """The store under test: plain local, or local+remote tiered."""
+    local = ArtifactStore(tmp_path / "store")
+    if request.param == "local":
+        return local
+    return TieredStore(
+        local,
+        RemoteStoreClient(share_service.base, retries=0),
+        publish_async=False,
+    )
+
+
+@pytest.fixture()
+def digest(request):
+    """A per-test unique digest: the share service outlives a single test."""
+    return hashlib.sha256(request.node.nodeid.encode()).hexdigest()[:32]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.configure(None)
+
+
+# ----------------------------------------------------- the shared contract
+def test_put_get_roundtrip(store, digest):
+    value = {"rows": [1, 2.5, "x"], "nested": {"ok": True}}
+    path = store.put("cells", digest, value)
+    assert path.exists()
+    assert store.get("cells", digest) == value
+    assert store.contains("cells", digest)
+
+
+def test_get_missing_is_none(store, digest):
+    assert store.get("cells", digest) is None
+    assert not store.contains("cells", digest)
+
+
+def test_meta_sidecar_roundtrip(store, digest):
+    meta = {"kind": "bench", "deps": {"attacks": "abc123"}}
+    store.put("cells", digest, {"v": 1}, meta=meta)
+    assert store.get_meta("cells", digest) == meta
+
+
+def test_lease_exclusivity(store, digest):
+    lease = store.try_lease("cells", digest)
+    assert lease is not None
+    assert store.try_lease("cells", digest) is None  # held
+    lease.release()
+    second = store.try_lease("cells", digest)
+    assert second is not None
+    second.release()
+
+
+def test_remove_is_local_eviction(store, digest):
+    store.put("cells", digest, {"v": 1}, meta={"kind": "bench"})
+    assert store.remove("cells", digest)
+    # removal evicts the *local* copy; it is not a global delete, so a tiered
+    # get may legitimately fill the cell back through from the peer
+    local = getattr(store, "local", store)
+    assert local.get("cells", digest) is None
+    assert not store.remove("cells", digest)  # already gone locally
+
+
+def test_stats_shape(store, digest):
+    store.put("cells", digest, {"v": 1})
+    stats = store.stats()
+    assert stats["artifacts"] >= 1
+    assert stats["bytes"] > 0
+    assert "active_leases" in stats and "counters" in stats
+
+
+def test_gc_evicts_down_to_budget(store, digest):
+    for i in range(4):
+        store.put("gc-conformance", f"{digest}{i:02d}", {"pad": "y" * 256, "i": i})
+    report = store.gc(budget=1)
+    assert report["evicted"] >= 3
+
+
+def test_corrupt_artifact_unlinked_and_counted(store, digest):
+    from repro.store import STORE_STATS
+
+    # plant a torn artifact directly (never published anywhere): the read
+    # must unlink it, count it, and fall through to a miss
+    path = store.path("cells", digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{truncated")
+    mark = STORE_STATS.snapshot()
+    assert store.get("cells", digest) is None
+    assert not path.exists()  # silently unlinked...
+    assert STORE_STATS.delta(mark)["corrupt_unlinked"] == 1  # ...but counted
+
+
+# ------------------------------------------------- tiered-only semantics
+@pytest.fixture()
+def tiered(tmp_path, share_service):
+    store = TieredStore(
+        ArtifactStore(tmp_path / "tiered"),
+        RemoteStoreClient(share_service.base, retries=0),
+        publish_async=False,
+    )
+    counts = {}
+
+    def on_fault(name, n=1):
+        counts[name] = counts.get(name, 0) + n
+
+    store.on_fault = on_fault
+    return store, counts
+
+
+def test_fill_through_adopts_foreign_artifact(tiered, share_service, digest):
+    store, counts = tiered
+    share_service.store.put("cells", digest, {"from": "peer"})
+    mark = REMOTE_STATS.snapshot()
+    assert store.get("cells", digest) == {"from": "peer"}
+    assert counts == {"remote_cell_hits": 1}
+    delta = REMOTE_STATS.delta(mark)
+    assert delta["gets"] == 1 and delta["hits"] == 1
+    # adopted into L1: the next read never touches the network
+    assert store.local.get("cells", digest) == {"from": "peer"}
+    assert REMOTE_STATS.delta(mark)["gets"] == 1
+
+
+def test_fill_through_carries_meta_sidecar(tiered, share_service, digest):
+    store, _counts = tiered
+    meta = {"kind": "bench", "deps": {}}
+    share_service.store.put("cells", digest, {"v": 9}, meta=meta)
+    assert store.get("cells", digest) == {"v": 9}
+    assert store.local.get_meta("cells", digest) == meta
+
+
+def test_put_publishes_to_peer(tiered, share_service, digest):
+    store, _counts = tiered
+    store.put("cells", digest, {"local": True}, meta={"kind": "bench", "deps": {}})
+    assert share_service.store.get("cells", digest) == {"local": True}
+    assert share_service.store.get_meta("cells", digest) == {
+        "kind": "bench",
+        "deps": {},
+    }
+
+
+def test_corrupt_body_rejected_not_trusted(tiered, share_service, digest):
+    store, counts = tiered
+    share_service.store.put("cells", digest, {"v": 3})
+    FAULTS.configure("remote.corrupt_body:1")
+    mark = REMOTE_STATS.snapshot()
+    assert store.get("cells", digest) is None  # a counted miss, never bad data
+    assert counts == {"remote_rejects": 1}
+    assert REMOTE_STATS.delta(mark)["rejected_checksum"] == 1
+    assert store.local.get("cells", digest) is None  # nothing adopted
+
+
+def test_stale_meta_rejected(tiered, share_service, digest):
+    store, counts = tiered
+    from repro.pipeline.fingerprints import fingerprint_map
+
+    # a genuinely fresh sidecar (live tokens) whose fingerprints the fault
+    # garbles in flight: the peer then claims the cell was computed under
+    # dependencies that never existed, and the artifact must not be adopted
+    share_service.store.put(
+        "cells", digest, {"v": 4}, meta={"kind": "bench", "deps": fingerprint_map(["attacks"])}
+    )
+    FAULTS.configure("remote.reject_meta:1")
+    mark = REMOTE_STATS.snapshot()
+    assert store.get("cells", digest) is None
+    assert counts == {"remote_rejects": 1}
+    assert REMOTE_STATS.delta(mark)["rejected_meta"] == 1
+    assert store.local.get("cells", digest) is None
+
+
+def test_breaker_open_fallback(tmp_path, digest):
+    dead = RemoteStoreClient(
+        "http://127.0.0.1:9", timeout=0.05, retries=0,
+        breaker=CircuitBreaker(threshold=1, cooldown=3600.0),
+    )
+    store = TieredStore(ArtifactStore(tmp_path / "dead"), dead, publish_async=False)
+    counts = {}
+    store.on_fault = lambda name, n=1: counts.update({name: counts.get(name, 0) + n})
+    mark = REMOTE_STATS.snapshot()
+    assert store.get("cells", digest) is None  # transport failure -> fallback
+    assert store.get("cells", digest) is None  # breaker now open -> skip
+    delta = REMOTE_STATS.delta(mark)
+    assert delta["breaker_opened"] == 1
+    assert delta["breaker_open_skips"] >= 1
+    assert counts["remote_fallbacks"] == 2
+    # writes still land locally and never raise
+    store.put("cells", digest, {"v": 5})
+    assert store.local.get("cells", digest) == {"v": 5}
+
+
+def test_half_open_recovery(tmp_path, share_service, digest):
+    clock = {"now": 0.0}
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=lambda: clock["now"])
+    client = RemoteStoreClient(share_service.base, retries=0, breaker=breaker)
+    store = TieredStore(ArtifactStore(tmp_path / "recover"), client, publish_async=False)
+    share_service.store.put("cells", digest, {"v": 6})
+    breaker.record_failure()  # the peer "died" once; breaker opens
+    assert breaker.state == "open"
+    assert store.get("cells", digest) is None  # refused without the network
+    clock["now"] = 11.0  # cooldown lapses
+    assert breaker.state == "half_open"
+    assert store.get("cells", digest) == {"v": 6}  # the probe succeeds...
+    assert breaker.state == "closed"  # ...and the breaker closes
+
+
+def test_delegation_keeps_local_surface(tiered):
+    store, _counts = tiered
+    # everything the Runner and parallel engine touch beyond get/put resolves
+    # on the local tier through delegation
+    assert store.root == store.local.root
+    assert store.meta_index("cells") == store.local.meta_index("cells")
+    assert store.lease_holder("cells", "f" * 32) is None
+    with pytest.raises(AttributeError):
+        store.no_such_attribute

@@ -1,0 +1,348 @@
+"""Unit and wire tests for the remote artifact tier.
+
+Covers the circuit breaker's state machine (injectable clock, no sleeps),
+the ``REPRO_REMOTE_*`` policy parsing, the client's retry/timeout/integrity
+behaviour under injected faults, the artifact-exchange endpoints' trust
+checks (checksummed PUT, traversal-proof route params, HEAD), and the HTTP
+hardening satellites (``REPRO_HTTP_MAX_BODY`` body cap,
+``REPRO_HTTP_READ_TIMEOUT`` stalled-client guard).
+"""
+
+import hashlib
+import json
+import socket
+import time
+
+import pytest
+
+from repro.faults import FAULTS, remote_breaker, remote_retries, remote_timeout
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.store import (
+    REMOTE_STATS,
+    CircuitBreaker,
+    RemoteRejected,
+    RemoteStoreClient,
+    RemoteStoreError,
+    RemoteUnavailable,
+    body_checksum,
+)
+from repro.store.remote import CHECKSUM_HEADER
+from store_service_harness import StoreServiceThread
+
+
+@pytest.fixture(scope="module")
+def share_service(tmp_path_factory):
+    service = StoreServiceThread(tmp_path_factory.mktemp("remote-service"))
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def digest(request):
+    return hashlib.sha256(request.node.nodeid.encode()).hexdigest()[:32]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.configure(None)
+
+
+# ------------------------------------------------------------ breaker unit
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_threshold():
+    breaker = CircuitBreaker(threshold=3, cooldown=30.0, clock=FakeClock())
+    transitions = []
+    breaker.on_transition = lambda old, new: transitions.append((old, new))
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open" and not breaker.allow()
+    assert transitions == [("closed", "open")]
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(threshold=2, cooldown=30.0, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()  # streak broken
+    breaker.record_failure()
+    assert breaker.state == "closed"  # 1 consecutive, not 2
+
+
+def test_breaker_half_open_admits_single_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.now = 10.0
+    assert breaker.state == "half_open"
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else still refused
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.allow()
+
+
+def test_breaker_failed_probe_reopens_with_fresh_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_failure()  # the probe dies
+    assert breaker.state == "open"
+    clock.now = 19.0  # the *fresh* cooldown has not lapsed
+    assert breaker.state == "open"
+    clock.now = 20.0
+    assert breaker.state == "half_open"
+
+
+# ------------------------------------------------------------- policy knobs
+def test_remote_policy_defaults(monkeypatch):
+    for var in ("REPRO_REMOTE_TIMEOUT", "REPRO_REMOTE_RETRIES", "REPRO_REMOTE_BREAKER"):
+        monkeypatch.delenv(var, raising=False)
+    assert remote_timeout() == 5.0
+    assert remote_retries() == 2
+    assert remote_breaker() == (5, 30.0)
+
+
+def test_remote_policy_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_REMOTE_TIMEOUT", "0.25")
+    monkeypatch.setenv("REPRO_REMOTE_RETRIES", "7")
+    monkeypatch.setenv("REPRO_REMOTE_BREAKER", "3:1.5")
+    assert remote_timeout() == 0.25
+    assert remote_retries() == 7
+    assert remote_breaker() == (3, 1.5)
+
+
+def test_remote_policy_rejects_nonsense(monkeypatch):
+    monkeypatch.setenv("REPRO_REMOTE_TIMEOUT", "-4")  # no "no deadline" setting
+    monkeypatch.setenv("REPRO_REMOTE_RETRIES", "banana")
+    monkeypatch.setenv("REPRO_REMOTE_BREAKER", "zero:what")
+    assert remote_timeout() == 5.0
+    assert remote_retries() == 2
+    assert remote_breaker() == (5, 30.0)
+
+
+# ------------------------------------------------------------- client unit
+def test_client_rejects_non_http_urls():
+    with pytest.raises(ValueError):
+        RemoteStoreClient("https://example.com")
+    with pytest.raises(ValueError):
+        RemoteStoreClient("http://")
+
+
+def test_client_checksum_verification():
+    client = RemoteStoreClient("http://127.0.0.1:1", timeout=0.05, retries=0)
+    body = json.dumps({"v": 1}).encode()
+    good = {CHECKSUM_HEADER.lower(): body_checksum(body)}
+    assert client._verified_json(good, body) == {"v": 1}
+    mark = REMOTE_STATS.snapshot()
+    with pytest.raises(RemoteRejected):
+        client._verified_json({CHECKSUM_HEADER.lower(): "0" * 64}, body)
+    with pytest.raises(RemoteRejected):
+        client._verified_json({}, body)  # a peer that does not vouch
+    assert REMOTE_STATS.delta(mark)["rejected_checksum"] == 2
+
+
+def test_dead_peer_exhausts_retries_then_opens_breaker(digest):
+    client = RemoteStoreClient(
+        "http://127.0.0.1:9", timeout=0.05, retries=1,
+        breaker=CircuitBreaker(threshold=1, cooldown=3600.0),
+    )
+    mark = REMOTE_STATS.snapshot()
+    start = time.perf_counter()
+    with pytest.raises(RemoteStoreError):
+        client.fetch("cells", digest)
+    assert time.perf_counter() - start < 5.0  # bounded, not hanging
+    with pytest.raises(RemoteUnavailable):
+        client.fetch("cells", digest)  # breaker now open: no network at all
+    delta = REMOTE_STATS.delta(mark)
+    assert delta["retries"] == 1
+    assert delta["breaker_opened"] == 1
+    assert delta["breaker_open_skips"] == 1
+
+
+# ---------------------------------------------------- injected remote faults
+def test_injected_timeout_exhausts_retries(share_service, digest):
+    client = RemoteStoreClient(share_service.base, retries=1)
+    FAULTS.configure("remote.timeout:1")  # every attempt's coin fires
+    mark = REMOTE_STATS.snapshot()
+    with pytest.raises(RemoteStoreError):
+        client.fetch("cells", digest)
+    delta = REMOTE_STATS.delta(mark)
+    assert delta["timeouts"] == 2 and delta["retries"] == 1
+
+
+def _seed_firing_only_first_attempt(path):
+    """A seed whose p=0.5 coin fires at attempt 0 and not at attempt 1."""
+    for seed in range(500):
+        spec = FaultSpec("remote.timeout", 0.5, seed)
+        if FaultInjector._decide(spec, f"GET:{path}:0") and not FaultInjector._decide(
+            spec, f"GET:{path}:1"
+        ):
+            return seed
+    raise AssertionError("no such seed in range; statistically impossible")
+
+
+def test_retry_heals_injected_timeout(share_service, digest):
+    share_service.store.put("cells", digest, {"v": 8})
+    path = f"/store/artifacts/cells/{digest}"
+    seed = _seed_firing_only_first_attempt(path)
+    FAULTS.configure(f"remote.timeout:0.5:{seed}")
+    client = RemoteStoreClient(share_service.base, retries=2)
+    mark = REMOTE_STATS.snapshot()
+    assert client.fetch("cells", digest) == {"v": 8}  # attempt 1 heals attempt 0
+    delta = REMOTE_STATS.delta(mark)
+    assert delta["timeouts"] == 1 and delta["retries"] == 1 and delta["hits"] == 1
+
+
+def test_injected_5xx_is_retried_and_counted(share_service, digest):
+    share_service.store.put("cells", digest, {"v": 9})
+    client = RemoteStoreClient(share_service.base, retries=0)
+    FAULTS.configure("remote.error_5xx:1")
+    with pytest.raises(RemoteStoreError):
+        client.fetch("cells", digest)
+    FAULTS.configure(None)
+    assert client.fetch("cells", digest) == {"v": 9}  # healthy again
+
+
+# ------------------------------------------------------- wire / endpoints
+def test_artifact_exchange_roundtrip(share_service, digest):
+    client = RemoteStoreClient(share_service.base)
+    assert not client.head("cells", digest)
+    assert client.publish("cells", digest, {"v": 10}, meta={"kind": "bench", "deps": {}})
+    assert client.head("cells", digest)
+    assert client.fetch("cells", digest) == {"v": 10}
+    assert client.fetch_meta("cells", digest) == {"kind": "bench", "deps": {}}
+    assert client.remote_store_stats()["artifacts"] >= 1
+
+
+def test_fetch_meta_none_when_peer_has_no_sidecar(share_service, digest):
+    share_service.store.put("cells", digest, {"v": 11})  # no meta
+    client = RemoteStoreClient(share_service.base)
+    assert client.fetch_meta("cells", digest) is None
+
+
+def test_get_serves_checksum_of_exact_bytes(share_service, digest):
+    share_service.store.put("cells", digest, {"b": 2, "a": 1})
+    status, headers, payload = share_service.request(
+        "GET", f"/store/artifacts/cells/{digest}"
+    )
+    assert status == 200
+    assert headers[CHECKSUM_HEADER] == body_checksum(payload)
+    assert json.loads(payload) == {"a": 1, "b": 2}
+
+
+def test_put_with_wrong_checksum_is_refused(share_service, digest):
+    body = json.dumps({"value": {"v": 1}}).encode()
+    status, _headers, _payload = share_service.request(
+        "PUT",
+        f"/store/artifacts/cells/{digest}",
+        body=body,
+        headers={CHECKSUM_HEADER: "0" * 64},
+    )
+    assert status == 400
+    assert share_service.store.get("cells", digest) is None
+
+
+def test_put_without_checksum_is_refused(share_service, digest):
+    body = json.dumps({"value": {"v": 1}}).encode()
+    status, _headers, _payload = share_service.request(
+        "PUT", f"/store/artifacts/cells/{digest}", body=body
+    )
+    assert status == 400
+
+
+def test_traversal_route_params_rejected(share_service):
+    # %252e double-encodes so the route decode leaves "%2e.." style params;
+    # every shape must die at validation, never reach the filesystem
+    for bad in ("%252e%252e", "..%252fx", "a%252fb"):
+        status, _headers, _payload = share_service.request(
+            "GET", f"/store/artifacts/cells/{bad}"
+        )
+        assert status in (400, 404)
+    status, _headers, _payload = share_service.request(
+        "GET", "/store/artifacts/%252e%252e/abcdef"
+    )
+    assert status in (400, 404)
+
+
+def test_head_falls_back_to_get_route(share_service, digest):
+    share_service.store.put("cells", digest, {"v": 12})
+    status, headers, payload = share_service.request(
+        "HEAD", f"/store/artifacts/cells/{digest}"
+    )
+    assert status == 200
+    assert payload == b""  # no body...
+    assert int(headers["Content-Length"]) > 0  # ...but the true length
+
+
+def test_share_store_disabled_answers_404(tmp_path_factory):
+    service = StoreServiceThread(
+        tmp_path_factory.mktemp("no-share"), share_store=False
+    )
+    try:
+        service.store.put("cells", "e" * 32, {"v": 1})
+        status, _headers, _payload = service.request(
+            "GET", "/store/artifacts/cells/" + "e" * 32
+        )
+        assert status == 404  # indistinguishable from a service without the feature
+        client = RemoteStoreClient(service.base, retries=0)
+        assert client.fetch("cells", "e" * 32) is None  # a clean miss client-side
+    finally:
+        service.close()
+
+
+# ------------------------------------------------- http hardening satellites
+def test_body_cap_overridable_and_enforced(share_service, monkeypatch, digest):
+    monkeypatch.setenv("REPRO_HTTP_MAX_BODY", "1K")
+    value = {"value": {"pad": "x" * 4096}}
+    body = json.dumps(value).encode()
+    status, _headers, payload = share_service.request(
+        "PUT",
+        f"/store/artifacts/cells/{digest}",
+        body=body,
+        headers={CHECKSUM_HEADER: body_checksum(body)},
+    )
+    assert status == 413
+    monkeypatch.delenv("REPRO_HTTP_MAX_BODY")
+    status, _headers, _payload = share_service.request(
+        "PUT",
+        f"/store/artifacts/cells/{digest}",
+        body=body,
+        headers={CHECKSUM_HEADER: body_checksum(body)},
+    )
+    assert status == 201
+
+
+def test_stalled_client_is_dropped(share_service, monkeypatch):
+    monkeypatch.setenv("REPRO_HTTP_READ_TIMEOUT", "0.3")
+    with socket.create_connection((share_service.host, share_service.port), timeout=10) as sock:
+        sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n")  # ...and stall mid-headers
+        sock.settimeout(10)
+        start = time.perf_counter()
+        chunks = []
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            chunks.append(data)
+        elapsed = time.perf_counter() - start
+    # the server answered 408 (or dropped) within the deadline's order of
+    # magnitude instead of holding the connection for the default 30s
+    assert elapsed < 5.0
+    response = b"".join(chunks)
+    assert response == b"" or b"408" in response.split(b"\r\n", 1)[0]
+
+
+def test_healthy_requests_unaffected_by_read_timeout(share_service, monkeypatch):
+    monkeypatch.setenv("REPRO_HTTP_READ_TIMEOUT", "0.3")
+    assert share_service.get_json("/health")["status"] == "ok"
